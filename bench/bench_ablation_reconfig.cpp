@@ -1,0 +1,55 @@
+// E11 (ablation) — how the context-switch cost R_s shapes the system.
+//
+// The paper closes §VI with "we are working on techniques to improve the
+// speed at which state can be saved and restored". This ablation quantifies
+// what such an improvement buys: for the PAL case study, sweep R_s from
+// hardware-assisted (0/100 cycles) through the published 4100 up to the
+// ~429k cycles implied by the paper's software-switching duty figure, and
+// report the Algorithm-1 block sizes, the round length (= worst-case
+// latency contribution) and the block buffer footprint.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sharing/analysis.hpp"
+#include "sharing/blocksize.hpp"
+
+int main() {
+  using namespace acc;
+  using namespace acc::sharing;
+
+  std::cout << "=== Ablation: reconfiguration cost R_s vs blocks, round and buffers ===\n\n";
+
+  Table t({"R_s (cycles)", "eta_start", "eta_end", "round gamma (cycles)",
+           "round (ms @100MHz)", "min block memory (samples)"});
+  for (const Time r : {0L, 100L, 1000L, 4100L, 20000L, 100000L, 428640L}) {
+    SharedSystemSpec sys;
+    sys.chain.accel_cycles_per_sample = {1, 1};
+    sys.chain.entry_cycles_per_sample = 15;
+    sys.chain.exit_cycles_per_sample = 1;
+    sys.streams = {{"s0", Rational(28224, 1000000), r},
+                   {"s1", Rational(28224, 1000000), r},
+                   {"s2", Rational(3528, 1000000), r},
+                   {"s3", Rational(3528, 1000000), r}};
+    const BlockSizeResult b = solve_block_sizes_fixpoint(sys);
+    if (!b.feasible) {
+      t.add_row({fmt_int(r), "-", "-", "-", "-", "infeasible"});
+      continue;
+    }
+    // Every stream needs at least one block of input and one of output
+    // buffering (admission checks whole blocks): 2 * sum(eta) samples.
+    const std::int64_t mem = 2 * b.total_eta;
+    t.add_row({fmt_int(r), fmt_int(b.eta[0]), fmt_int(b.eta[2]),
+               fmt_int(b.gamma),
+               fmt_double(static_cast<double>(b.gamma) / 100000.0, 2),
+               fmt_int(mem)});
+  }
+  std::cout << t.render();
+
+  std::cout
+      << "\nreading: blocks and the round scale ~linearly with R_s once the\n"
+         "switching cost dominates (utilization fixed at 0.953): hardware-\n"
+         "assisted switching (R_s ~ 100) would shrink blocks ~40x and cut\n"
+         "worst-case latency and block memory by the same factor — the\n"
+         "quantified payoff of the paper's stated future work.\n";
+  return 0;
+}

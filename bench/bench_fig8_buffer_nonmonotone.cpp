@@ -1,0 +1,98 @@
+// E3 — Paper Fig. 8: minimum buffer capacities are NON-MONOTONE in the
+// block size.
+//
+// The scanned figure's exact actor parameters are not recoverable (see
+// DESIGN.md), so this bench reproduces the *claim* on two model families:
+//   (a) baseline: plain producer/consumer — monotone under standard
+//       consume-at-start/produce-at-end token semantics (reported so the
+//       contrast is explicit);
+//   (b) the paper-shaped case: a shared actor (duration R + c0*eta, Eq. 2)
+//       delivering eta-sample blocks into an 8:1 down-sampling consumer —
+//       exactly the chain-end streams of the PAL case study. Block
+//       remainders misaligned with the consumer's chunk make SMALLER blocks
+//       need LARGER buffers, the paper's headline observation
+//       (its Fig. 8(b): alpha(2)=6 > alpha(5)=5).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "dataflow/buffer_sizing.hpp"
+#include "dataflow/graph.hpp"
+#include "sharing/nonmonotone.hpp"
+
+int main() {
+  using namespace acc;
+  using namespace acc::sharing;
+
+  std::cout << "=== Fig. 8: non-monotone minimum buffer capacity vs block size ===\n\n";
+
+  std::cout << "(a) baseline two-actor sweep (producer dur 1 -> consumer "
+               "dur 5 consuming eta): MONOTONE\n";
+  Table base({"eta", "max throughput", "min capacity"});
+  std::vector<std::int64_t> base_caps;
+  for (const BufferSweepPoint& p : two_actor_buffer_sweep(1, 5, 1, 8)) {
+    base.add_row({std::to_string(p.eta), p.max_throughput.str(),
+                  std::to_string(p.min_capacity)});
+    base_caps.push_back(p.min_capacity);
+  }
+  std::cout << base.render();
+  std::cout << "non-monotone: " << (is_non_monotone(base_caps) ? "YES" : "no")
+            << "\n\n";
+
+  std::cout << "(b) shared actor (R=6 + 1*eta) -> 4:1 down-sampling consumer "
+               "at sample period 3:\n";
+  Table nm({"eta", "min capacity", "note"});
+  std::vector<std::int64_t> caps;
+  const auto pts = chunked_consumer_buffer_sweep(6, 1, 3, 4, 3, 16);
+  for (const BufferSweepPoint& p : pts) {
+    std::string note;
+    if (p.min_capacity < 0) {
+      note = "infeasible";
+    } else if (!caps.empty() && p.min_capacity < caps.back()) {
+      note = "<-- SMALLER than eta-1";
+    }
+    nm.add_row({std::to_string(p.eta),
+                p.min_capacity < 0 ? "-" : std::to_string(p.min_capacity),
+                note});
+    if (p.min_capacity >= 0) caps.push_back(p.min_capacity);
+  }
+  std::cout << nm.render();
+  const bool nonmono = is_non_monotone(caps);
+  std::cout << "non-monotone: " << (nonmono ? "YES" : "no") << "\n";
+
+  std::cout << "\n(c) the PAL chain-end shape (R=10 + eta, 8:1 chunk, period 2):\n";
+  Table nm8({"eta", "min capacity"});
+  std::vector<std::int64_t> caps8;
+  for (const BufferSweepPoint& p :
+       chunked_consumer_buffer_sweep(10, 1, 2, 8, 10, 24)) {
+    nm8.add_row({std::to_string(p.eta),
+                 p.min_capacity < 0 ? "-" : std::to_string(p.min_capacity)});
+    if (p.min_capacity >= 0) caps8.push_back(p.min_capacity);
+  }
+  std::cout << nm8.render();
+  std::cout << "non-monotone: " << (is_non_monotone(caps8) ? "YES" : "no")
+            << "\n";
+
+  // Context for the figure: the underlying capacity/throughput trade-off of
+  // one channel is a clean monotone staircase — the non-monotonicity above
+  // only appears when comparing MINIMA across different block sizes.
+  std::cout << "\n(d) capacity/throughput Pareto staircase of a single "
+               "channel (A(2) -> B(3), rates 2:3):\n";
+  {
+    df::Graph g;
+    const df::ActorId a = g.add_sdf_actor("A", 2);
+    const df::ActorId b = g.add_sdf_actor("B", 3);
+    df::Channel ch = g.add_channel(a, b, {2}, {3}, 3);
+    Table ps({"capacity", "throughput (B firings/cycle)"});
+    for (const df::ParetoPoint& p : df::pareto_buffer_sweep(g, ch, b))
+      ps.add_row({std::to_string(p.capacity), p.throughput.str()});
+    std::cout << ps.render();
+  }
+
+  std::cout << "\npaper Fig. 8(b) reference table: eta in {1..5} -> alpha in "
+               "{5,6,7,8,5} (their model; see EXPERIMENTS.md)\n";
+  std::cout << "conclusion matches the paper: minimizing block sizes does "
+               "NOT generally minimize buffer capacities\n";
+  return nonmono && is_non_monotone(caps8) && !is_non_monotone(base_caps)
+             ? 0
+             : 1;
+}

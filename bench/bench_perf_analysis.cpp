@@ -1,0 +1,162 @@
+// E9 — performance of the analyses and the simulator (google-benchmark).
+//
+// Not a paper artifact: establishes that the design-time analyses are
+// interactive-speed and reports the simulator's cycles/second.
+#include <benchmark/benchmark.h>
+
+#include "dataflow/buffer_sizing.hpp"
+#include "dataflow/executor.hpp"
+#include "dataflow/hsdf.hpp"
+#include "sharing/blocksize.hpp"
+#include "sharing/csdf_model.hpp"
+#include "sim/gateway.hpp"
+#include "sim/proc_tile.hpp"
+#include "sim/system.hpp"
+
+namespace {
+
+using namespace acc;
+
+sharing::SharedSystemSpec pal_like() {
+  sharing::SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1, 1};
+  sys.chain.entry_cycles_per_sample = 15;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s0", Rational(28224, 1000000), 4100},
+                 {"s1", Rational(28224, 1000000), 4100},
+                 {"s2", Rational(3528, 1000000), 4100},
+                 {"s3", Rational(3528, 1000000), 4100}};
+  return sys;
+}
+
+void BM_RepetitionVector(benchmark::State& state) {
+  df::Graph g;
+  std::vector<df::ActorId> actors;
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i)
+    actors.push_back(g.add_sdf_actor("a" + std::to_string(i), 1));
+  for (int i = 0; i + 1 < n; ++i)
+    g.add_sdf_edge(actors[i], actors[i + 1], (i % 3) + 1, ((i + 1) % 3) + 1, 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(df::compute_repetition_vector(g));
+}
+BENCHMARK(BM_RepetitionVector)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_SelfTimedThroughput(benchmark::State& state) {
+  df::Graph g;
+  const df::ActorId a = g.add_sdf_actor("A", 2);
+  const df::ActorId b = g.add_sdf_actor("B", 3);
+  g.add_channel(a, b, {2}, {3}, state.range(0));
+  for (auto _ : state) {
+    df::SelfTimedExecutor exec(g);
+    benchmark::DoNotOptimize(exec.analyze_throughput(a));
+  }
+}
+BENCHMARK(BM_SelfTimedThroughput)->Arg(6)->Arg(64)->Arg(512);
+
+void BM_McrHsdfExpansion(benchmark::State& state) {
+  df::Graph g;
+  const df::ActorId a = g.add_sdf_actor("A", 2);
+  const df::ActorId b = g.add_sdf_actor("B", 3);
+  g.add_sdf_edge(a, b, static_cast<std::int64_t>(state.range(0)), 3, 0);
+  g.add_sdf_edge(b, a, 3, static_cast<std::int64_t>(state.range(0)), 24);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(df::sdf_throughput_via_mcm(g, a));
+}
+BENCHMARK(BM_McrHsdfExpansion)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_BlockSizeIlp(benchmark::State& state) {
+  const sharing::SharedSystemSpec sys = pal_like();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sharing::solve_block_sizes_ilp(sys));
+}
+BENCHMARK(BM_BlockSizeIlp);
+
+void BM_BlockSizeFixpoint(benchmark::State& state) {
+  const sharing::SharedSystemSpec sys = pal_like();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sharing::solve_block_sizes_fixpoint(sys));
+}
+BENCHMARK(BM_BlockSizeFixpoint);
+
+void BM_BufferSizing(benchmark::State& state) {
+  sharing::SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1};
+  sys.chain.entry_cycles_per_sample = 2;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s", Rational(1, 8), 10}};
+  const sharing::BlockSizeResult blocks =
+      sharing::solve_block_sizes_fixpoint(sys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sharing::min_buffers_for_stream(sys, 0, blocks.eta, 8));
+  }
+}
+BENCHMARK(BM_BufferSizing);
+
+void BM_CsdfModelExecution(benchmark::State& state) {
+  sharing::SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1};
+  sys.chain.entry_cycles_per_sample = 15;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s", Rational(1, 1000), 4100}};
+  sharing::CsdfModelOptions o;
+  o.eta = state.range(0);
+  o.alpha0 = o.eta;
+  o.alpha3 = o.eta;
+  o.producer_period = 0;
+  o.consumer_period = 0;
+  sharing::CsdfStreamModel m = sharing::build_csdf_stream_model(sys, 0, o);
+  for (auto _ : state) {
+    df::SelfTimedExecutor exec(m.graph);
+    benchmark::DoNotOptimize(exec.run_until_firings(m.exit, o.eta));
+  }
+  state.SetItemsProcessed(state.iterations() * o.eta);
+}
+BENCHMARK(BM_CsdfModelExecution)->Arg(64)->Arg(1024);
+
+/// Simulator speed: cycles/second on a ring + gateway + accelerator system.
+void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::System sys(4);
+    sim::CFifo& in = sys.add_fifo("in", 256);
+    sim::CFifo& out = sys.add_fifo("out", 4096, 0, 0);
+    auto& accel = sys.add<sim::AcceleratorTile>("a", sys.ring(), 1, 1, 2);
+    class Nop final : public accel::StreamKernel {
+     public:
+      void push(CQ16 in, std::vector<CQ16>& o) override { o.push_back(in); }
+      [[nodiscard]] std::vector<std::int32_t> save_state() const override {
+        return {};
+      }
+      void restore_state(std::span<const std::int32_t>) override {}
+      void reset() override {}
+      [[nodiscard]] std::size_t state_words() const override { return 0; }
+      [[nodiscard]] std::string name() const override { return "nop"; }
+      [[nodiscard]] std::unique_ptr<StreamKernel> clone_fresh() const override {
+        return std::make_unique<Nop>();
+      }
+    };
+    accel.register_context(0, std::make_unique<Nop>());
+    accel.set_upstream(0, 1);
+    accel.set_downstream(3, 2, 2);
+    auto& exit = sys.add<sim::ExitGateway>("x", sys.ring(), 3, 1, 2);
+    exit.set_upstream(1, 1);
+    auto& entry = sys.add<sim::EntryGateway>("e", sys.ring(), 0, 2, 1, 1, 2);
+    entry.set_chain({&accel});
+    entry.set_exit(&exit);
+    exit.set_entry(&entry);
+    entry.add_stream({0, "s", 32, 32, &in, &out, 50});
+    std::vector<sim::Flit> payload(4096, 7);
+    sys.add<sim::SourceTile>("src", in, payload, 4);
+    state.ResumeTiming();
+    sys.run(50000);
+    benchmark::DoNotOptimize(sys.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);  // cycles/sec
+}
+BENCHMARK(BM_SimulatorCyclesPerSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

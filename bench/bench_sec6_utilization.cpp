@@ -1,0 +1,84 @@
+// E5 — §VI utilization and the real-time verdict, measured on the cycle
+// simulator.
+//
+// Paper: "The entry-gateway ... is processing data streams 5% of the time,
+// which means that 95% of the time is spent to save and restore state ...
+// our current implementation is already sufficiently fast ... as we meet
+// our real-time throughput constraint of 44.1 kS/s"; and "sharing ...
+// improved accelerator utilization by a factor of four".
+//
+// We measure: the gateway's cycle budget split (data / reconfig / wait),
+// the accelerators' duty cycles, and the drop/underrun verdict. Note the
+// published 5%/95% split is arithmetically inconsistent with the published
+// epsilon = 15 cycles/sample and R_s = 4100 (see EXPERIMENTS.md); we report
+// the split measured with the published parameters AND the software-
+// switching cost R_sw that WOULD yield the paper's 5% figure.
+#include <iostream>
+
+#include "app/pal_system.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace acc;
+
+  std::cout << "=== §VI: gateway duty cycle, accelerator utilization, real-time verdict ===\n\n";
+
+  app::PalSimConfig cfg;
+  cfg.input_samples = 1 << 15;
+  const app::PalSimResult r = app::run_pal_decoder(cfg);
+
+  const double total = static_cast<double>(r.cycles_run);
+  Table t({"quantity", "value", "share"});
+  t.add_row({"cycles simulated", fmt_int(r.cycles_run), ""});
+  t.add_row({"gateway data (DMA) cycles", fmt_int(r.gateway.data_cycles),
+             fmt_double(100.0 * r.gateway.data_cycles / total, 1) + " %"});
+  t.add_row({"gateway reconfig cycles", fmt_int(r.gateway.reconfig_cycles),
+             fmt_double(100.0 * r.gateway.reconfig_cycles / total, 1) + " %"});
+  t.add_row({"gateway wait cycles", fmt_int(r.gateway.wait_cycles),
+             fmt_double(100.0 * r.gateway.wait_cycles / total, 1) + " %"});
+  t.add_row({"CORDIC busy", fmt_int(r.cordic_busy),
+             fmt_double(100.0 * r.cordic_busy / total, 1) + " %"});
+  t.add_row({"FIR busy", fmt_int(r.fir_busy),
+             fmt_double(100.0 * r.fir_busy / total, 1) + " %"});
+  t.add_row({"front-end drops", std::to_string(r.source_drops), ""});
+  t.add_row({"DAC underruns", std::to_string(r.sink_underruns), ""});
+  // Scaled-clock conversion: input_period cycles == one front-end sample
+  // == 1/sample_rate seconds.
+  t.add_row({"max end-to-end audio latency", fmt_int(r.max_audio_latency),
+             fmt_double(static_cast<double>(r.max_audio_latency) * 1000.0 /
+                            (cfg.sample_rate *
+                             static_cast<double>(cfg.input_period)), 1) +
+                 " ms eq."});
+  std::cout << t.render();
+
+  // Utilization-improvement factor: one CORDIC/FIR instance serves what
+  // would otherwise be four dedicated instances, each busy 1/4 as much.
+  const double shared_duty = static_cast<double>(r.cordic_busy) / total;
+  std::cout << "\naccelerator utilization: shared CORDIC duty = "
+            << fmt_double(100.0 * shared_duty, 1)
+            << " %; four dedicated copies would each idle at "
+            << fmt_double(100.0 * shared_duty / 4.0, 1)
+            << " % -> sharing improves utilization by a factor of 4 "
+               "(paper: 'a factor of four')\n";
+
+  const bool ok = r.source_drops == 0 && r.sink_underruns == 0;
+  std::cout << "real-time constraint (continuous audio): "
+            << (ok ? "MET" : "VIOLATED") << " (paper: met)\n";
+
+  // The split implied by the published 5%-data figure: per round the DMA
+  // moves eps*sum(eta) cycles of data; for that to be 5% of the round, the
+  // four context switches must cost 19x as much.
+  const double data_per_round =
+      15.0 * 2.0 * static_cast<double>(r.eta_stage1 + r.eta_stage2);
+  const double r_sw = 19.0 * data_per_round / 4.0;
+  std::cout << "\nnote: with the published epsilon=15 and R_s=4100 the data "
+               "share of a round is "
+            << fmt_double(100.0 * data_per_round /
+                              (data_per_round + 4.0 * 4100.0), 1)
+            << " %.\nThe paper's '5% data / 95% save-restore' figure implies "
+               "a software context-switch cost of ~"
+            << fmt_int(static_cast<std::int64_t>(r_sw))
+            << " cycles per switch\n(consistent with its remark that 'streams "
+               "are switched by reading and restoring state from software').\n";
+  return ok ? 0 : 1;
+}

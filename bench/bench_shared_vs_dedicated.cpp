@@ -1,0 +1,82 @@
+// E10 (extension) — shared gateway architecture vs the dedicated baseline.
+//
+// The paper argues sharing saves 75 % of the accelerator instances and
+// 63 % of the logic while still meeting real time. This bench runs BOTH
+// systems on the same synthesized broadcast and compares: real-time
+// verdict, audio quality, accelerator duty cycles, and (from the cost
+// model) the hardware bill — making the sharing trade-off measurable
+// end to end: the dedicated system has lower latency and idle accelerators;
+// the shared system pays reconfiguration and round-robin wait but buys back
+// most of the silicon.
+#include <iostream>
+
+#include "app/pal_system.hpp"
+#include "common/table.hpp"
+#include "hwcost/model.hpp"
+#include "radio/metrics.hpp"
+
+namespace {
+
+double snr_of(const std::vector<double>& ch, double rate, double tone) {
+  if (ch.size() < 300) return -1.0;
+  std::vector<double> v = ch;
+  acc::radio::remove_dc(v);
+  return acc::radio::tone_snr_db(v, rate, tone, 128);
+}
+
+}  // namespace
+
+int main() {
+  using namespace acc;
+
+  std::cout << "=== Shared gateway architecture vs dedicated accelerators ===\n\n";
+
+  app::PalSimConfig cfg;
+  cfg.input_samples = 1 << 15;
+  const app::PalSimResult sh = app::run_pal_decoder(cfg);
+  const app::PalSimResult de = app::run_pal_decoder_dedicated(cfg);
+
+  const hwcost::SharingComparison hw = hwcost::paper_case_study();
+
+  Table t({"metric", "shared (1 CORDIC + 1 FIR)", "dedicated (4 + 4)"});
+  t.add_row({"accelerator instances", "2", "8"});
+  t.add_row({"front-end drops", std::to_string(sh.source_drops),
+             std::to_string(de.source_drops)});
+  t.add_row({"DAC underruns", std::to_string(sh.sink_underruns),
+             std::to_string(de.sink_underruns)});
+  t.add_row({"L tone SNR (dB)",
+             fmt_double(snr_of(sh.left, sh.audio_rate, cfg.tone_left_hz), 1),
+             fmt_double(snr_of(de.left, de.audio_rate, cfg.tone_left_hz), 1)});
+  t.add_row({"R tone SNR (dB)",
+             fmt_double(snr_of(sh.right, sh.audio_rate, cfg.tone_right_hz), 1),
+             fmt_double(snr_of(de.right, de.audio_rate, cfg.tone_right_hz), 1)});
+  t.add_row({"block sizes (stage1/stage2)",
+             std::to_string(sh.eta_stage1) + " / " +
+                 std::to_string(sh.eta_stage2),
+             std::to_string(de.eta_stage1) + " / " +
+                 std::to_string(de.eta_stage2)});
+  t.add_row({"reconfig cycles", fmt_int(sh.gateway.reconfig_cycles),
+             fmt_int(de.gateway.reconfig_cycles)});
+  const double shd = 100.0 * static_cast<double>(sh.cordic_busy) /
+                     static_cast<double>(sh.cycles_run);
+  const double ded = 100.0 * static_cast<double>(de.cordic_busy) /
+                     (4.0 * static_cast<double>(de.cycles_run));
+  t.add_row({"CORDIC-class duty per instance",
+             fmt_double(shd, 2) + " %", fmt_double(ded, 2) + " %"});
+  t.add_row({"hardware (slices)", fmt_int(hw.shared.slices),
+             fmt_int(hw.non_shared.slices)});
+  t.add_row({"hardware (LUTs)", fmt_int(hw.shared.luts),
+             fmt_int(hw.non_shared.luts)});
+  std::cout << t.render();
+
+  const bool both_rt = sh.source_drops == 0 && sh.sink_underruns == 0 &&
+                       de.source_drops == 0 && de.sink_underruns == 0;
+  std::cout << "\nboth systems meet real time: " << (both_rt ? "yes" : "NO")
+            << "\nsharing removes " << 6 << " of 8 accelerator instances (75 %) "
+            << "and saves " << fmt_double(hw.slice_saving_pct, 1)
+            << " % slices / " << fmt_double(hw.lut_saving_pct, 1)
+            << " % LUTs (paper: 75 % instances, 63.5 % / 66.3 %)\n"
+            << "utilization per shared instance is ~4x the dedicated one — "
+               "the paper's 'improved utilization by a factor of four'\n";
+  return both_rt ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// Multi-standard receiver: an FM radio and an AM radio — different
+// demodulation standards — share ONE CORDIC tile through a gateway pair.
+//
+// This is the scenario of the paper's reference [8] (multi-standard channel
+// decoding on weakly programmable hardware): the same physical CORDIC
+// datapath runs in rotation mode (as the FM stream's mixer) and in
+// vectoring mode (as the AM stream's envelope detector), selected purely by
+// the per-stream context the entry-gateway restores. Block sizes come from
+// Algorithm 1 so both standards keep hard real-time guarantees.
+//
+// Build & run:  ./build/examples/multi_standard_receiver
+#include <cmath>
+#include <iostream>
+
+#include "accel/mixer.hpp"
+#include "common/table.hpp"
+#include "radio/metrics.hpp"
+#include "radio/signal.hpp"
+#include "sharing/analysis.hpp"
+#include "sharing/blocksize.hpp"
+#include "sim/chain_builder.hpp"
+#include "sim/proc_tile.hpp"
+#include "sim/system.hpp"
+
+namespace {
+using namespace acc;
+
+std::vector<sim::Flit> pack(const std::vector<radio::cplx>& v) {
+  std::vector<sim::Flit> out;
+  out.reserve(v.size());
+  for (const radio::cplx& s : v)
+    out.push_back(sim::pack_sample(CQ16{Q16::from_double(s.real()),
+                                        Q16::from_double(s.imag())}));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kSamples = 1 << 14;
+  const double fm_tone = 0.004;
+  const double am_tone = 0.002;
+
+  // ---- Analysis: two streams, one single-accelerator chain. ----
+  sharing::SharedSystemSpec spec;
+  spec.chain.accel_cycles_per_sample = {1};
+  spec.chain.entry_cycles_per_sample = 4;
+  spec.chain.exit_cycles_per_sample = 1;
+  spec.streams = {{"fm", Rational(1, 24), 300}, {"am", Rational(1, 32), 300}};
+  const sharing::BlockSizeResult blocks =
+      sharing::solve_block_sizes_fixpoint(spec);
+  if (!blocks.feasible) {
+    std::cout << "not schedulable\n";
+    return 1;
+  }
+  std::cout << "Algorithm 1: eta_fm=" << blocks.eta[0]
+            << ", eta_am=" << blocks.eta[1] << ", round=" << blocks.gamma
+            << " cycles, utilization="
+            << sharing::utilization(spec).to_double() << "\n\n";
+
+  // ---- The MPSoC: one shared CORDIC tile, two standards. The chain
+  // builder wires entry gateway -> CORDIC -> exit gateway on the ring. ----
+  sim::System sys(4);
+  sim::ChainConfig chain_cfg;
+  chain_cfg.name = "rx";
+  chain_cfg.accel_cycles = {1};
+  chain_cfg.epsilon = 4;
+  sim::GatewayChain chain = sim::build_gateway_chain(sys, chain_cfg);
+
+  sim::CFifo& fm_in = sys.add_fifo("fm.in", 4 * blocks.eta[0]);
+  sim::CFifo& am_in = sys.add_fifo("am.in", 4 * blocks.eta[1]);
+  sim::CFifo& fm_out = sys.add_fifo("fm.out", 1 << 15, 0, 0);
+  sim::CFifo& am_out = sys.add_fifo("am.out", 1 << 15, 0, 0);
+  // FM stream context: the discriminator (vectoring mode, phase output).
+  std::vector<std::unique_ptr<accel::StreamKernel>> fm_kernels;
+  fm_kernels.push_back(std::make_unique<accel::FmDiscriminator>());
+  chain.add_stream({0, "fm", blocks.eta[0], blocks.eta[0], &fm_in, &fm_out,
+                    /*reconfig=*/300},
+                   std::move(fm_kernels));
+  // AM stream context: the envelope detector (vectoring mode, magnitude).
+  std::vector<std::unique_ptr<accel::StreamKernel>> am_kernels;
+  am_kernels.push_back(std::make_unique<accel::AmDetector>(10));
+  chain.add_stream({1, "am", blocks.eta[1], blocks.eta[1], &am_in, &am_out,
+                    /*reconfig=*/300},
+                   std::move(am_kernels));
+  sim::EntryGateway& entry = *chain.entry;
+
+  // FM input: tone FM-modulated at baseband (carrier 0, deviation 0.04).
+  std::vector<double> fm_audio(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i)
+    fm_audio[i] = 0.8 * std::sin(2.0 * M_PI * fm_tone * static_cast<double>(i));
+  sys.add<sim::SourceTile>(
+      "fm.fe", fm_in, pack(radio::fm_modulate(fm_audio, 0.0, 0.04, 1.0, 0.8)),
+      /*period=*/24);
+
+  // AM input: (1 + 0.5*tone) * carrier at baseband (constant phase).
+  std::vector<radio::cplx> am(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const double env =
+        0.5 * (1.0 + 0.5 * std::sin(2.0 * M_PI * am_tone *
+                                    static_cast<double>(i)));
+    am[i] = radio::cplx(env * std::cos(0.7), env * std::sin(0.7));
+  }
+  sys.add<sim::SourceTile>("am.fe", am_in, pack(am), /*period=*/32);
+
+  sys.run(static_cast<sim::Cycle>(kSamples) * 32 + 20000);
+
+  // ---- Verdict: both standards demodulated through one datapath. ----
+  auto drain = [&](sim::CFifo& f) {
+    std::vector<double> v;
+    while (f.can_pop(sys.now()))
+      v.push_back(sim::unpack_sample(f.pop(sys.now())).re.to_double());
+    radio::remove_dc(v);
+    return v;
+  };
+  const std::vector<double> fm_audio_out = drain(fm_out);
+  const std::vector<double> am_audio_out = drain(am_out);
+  const double fm_snr =
+      radio::tone_snr_db(fm_audio_out, 1.0, fm_tone, 512);
+  const double am_snr =
+      radio::tone_snr_db(am_audio_out, 1.0, am_tone, 4096);
+
+  Table t({"standard", "CORDIC mode", "blocks", "samples", "tone SNR (dB)"});
+  t.add_row({"FM", "vectoring (phase)",
+             std::to_string(entry.block_completions(0).size()),
+             std::to_string(fm_audio_out.size()), fmt_double(fm_snr, 1)});
+  t.add_row({"AM", "vectoring (magnitude)",
+             std::to_string(entry.block_completions(1).size()),
+             std::to_string(am_audio_out.size()), fmt_double(am_snr, 1)});
+  std::cout << t.render();
+
+  const bool ok = fm_snr > 20.0 && am_snr > 15.0;
+  std::cout << "\none CORDIC tile served two demodulation standards: "
+            << (ok ? "OK" : "DEGRADED") << "\n";
+  return ok ? 0 : 1;
+}

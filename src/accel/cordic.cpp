@@ -1,0 +1,131 @@
+#include "accel/cordic.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace acc::accel {
+
+namespace {
+
+constexpr int kMaxIterations = 24;
+
+/// atan(2^-i) table in Q16 radians, and the CORDIC gain compensation
+/// 1/K = prod(cos(atan(2^-i))), computed once at startup (an FPGA would
+/// bake these into LUT ROMs).
+struct Tables {
+  std::array<std::int32_t, kMaxIterations> atan_q16{};
+  std::array<double, kMaxIterations + 1> inv_gain{};
+
+  Tables() {
+    double k = 1.0;
+    inv_gain[0] = 1.0;
+    for (int i = 0; i < kMaxIterations; ++i) {
+      const double a = std::atan(std::ldexp(1.0, -i));
+      atan_q16[i] =
+          static_cast<std::int32_t>(std::lround(a * (std::int32_t{1} << 16)));
+      k *= std::cos(a);
+      inv_gain[i + 1] = k;
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+Q16 q16_pi() { return Q16::from_double(M_PI); }
+Q16 q16_half_pi() { return Q16::from_double(M_PI / 2); }
+
+Q16 q16_wrap_angle(double radians) {
+  double a = std::remainder(radians, 2.0 * M_PI);
+  if (a <= -M_PI) a += 2.0 * M_PI;
+  return Q16::from_double(a);
+}
+
+RotateResult cordic_rotate(Q16 x, Q16 y, Q16 angle, int iterations) {
+  ACC_EXPECTS(iterations >= 1 && iterations <= kMaxIterations);
+  std::int64_t cx = x.raw();
+  std::int64_t cy = y.raw();
+  std::int64_t cz = angle.raw();
+
+  // Pre-rotation: CORDIC converges for |angle| <= ~1.74 rad; fold angles
+  // beyond +-pi/2 by an exact half-turn ((x,y) -> (-x,-y), angle -+ pi).
+  const std::int32_t half_pi = q16_half_pi().raw();
+  if (cz > half_pi) {
+    cz -= q16_pi().raw();
+    cx = -cx;
+    cy = -cy;
+  } else if (cz < -half_pi) {
+    cz += q16_pi().raw();
+    cx = -cx;
+    cy = -cy;
+  }
+
+  for (int i = 0; i < iterations; ++i) {
+    const std::int64_t dx = cy >> i;
+    const std::int64_t dy = cx >> i;
+    if (cz >= 0) {
+      cx -= dx;
+      cy += dy;
+      cz -= tables().atan_q16[i];
+    } else {
+      cx += dx;
+      cy -= dy;
+      cz += tables().atan_q16[i];
+    }
+  }
+
+  const double inv_k = tables().inv_gain[iterations];
+  RotateResult r;
+  r.x = Q16::from_double(static_cast<double>(cx) / (1 << 16) * inv_k);
+  r.y = Q16::from_double(static_cast<double>(cy) / (1 << 16) * inv_k);
+  return r;
+}
+
+VectorResult cordic_vector(Q16 x, Q16 y, int iterations) {
+  ACC_EXPECTS(iterations >= 1 && iterations <= kMaxIterations);
+  std::int64_t cx = x.raw();
+  std::int64_t cy = y.raw();
+  std::int64_t cz = 0;
+
+  // Pre-rotation into the right half-plane: a half turn flips the vector
+  // exactly; the loop then adds the remaining angle, so
+  // z_out = z_init + atan2(-y, -x) = atan2(y, x).
+  if (cx < 0) {
+    cx = -cx;
+    cy = -cy;
+    cz = cy <= 0 ? q16_pi().raw() : -q16_pi().raw();
+  }
+
+  for (int i = 0; i < iterations; ++i) {
+    const std::int64_t dx = cy >> i;
+    const std::int64_t dy = cx >> i;
+    if (cy >= 0) {
+      cx += dx;
+      cy -= dy;
+      cz += tables().atan_q16[i];
+    } else {
+      cx -= dx;
+      cy += dy;
+      cz -= tables().atan_q16[i];
+    }
+  }
+
+  const double inv_k = tables().inv_gain[iterations];
+  VectorResult r;
+  r.magnitude = Q16::from_double(static_cast<double>(cx) / (1 << 16) * inv_k);
+  // Map the accumulated angle into (-pi, pi].
+  std::int64_t a = cz;
+  const std::int64_t pi = q16_pi().raw();
+  if (a > pi) a -= 2 * pi;
+  if (a <= -pi) a += 2 * pi;
+  r.angle = Q16::from_raw(static_cast<std::int32_t>(a));
+  return r;
+}
+
+}  // namespace acc::accel

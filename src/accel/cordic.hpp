@@ -1,0 +1,51 @@
+// Fixed-point CORDIC in rotation and vectoring mode.
+//
+// The paper's case study shares one CORDIC accelerator between four
+// streams: it serves both as the channel mixer (rotation mode: multiply by
+// e^{j*phi}) and as the FM demodulator front half (vectoring mode: atan2).
+// This is a bit-accurate model of such a datapath: shift-add
+// micro-rotations on Q2.16 operands, no hardware multipliers except the
+// final gain compensation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/fixed_point.hpp"
+
+namespace acc::accel {
+
+/// Number of micro-rotations; 16 gives ~1e-4 angular resolution, matching a
+/// 16-iteration unrolled FPGA pipeline.
+inline constexpr int kCordicIterations = 16;
+
+/// Q16 representation of pi (3.14159... * 65536).
+Q16 q16_pi();
+/// Q16 representation of pi/2.
+Q16 q16_half_pi();
+
+struct RotateResult {
+  Q16 x;
+  Q16 y;
+};
+
+/// Rotate the vector (x, y) by `angle` radians (Q16, any value in
+/// [-pi, pi]; callers must wrap). Gain-compensated.
+[[nodiscard]] RotateResult cordic_rotate(Q16 x, Q16 y, Q16 angle,
+                                         int iterations = kCordicIterations);
+
+struct VectorResult {
+  /// Gain-compensated magnitude sqrt(x^2 + y^2).
+  Q16 magnitude;
+  /// atan2(y, x) in radians (Q16), in (-pi, pi].
+  Q16 angle;
+};
+
+/// Vectoring mode: rotate (x, y) onto the positive x axis, reporting the
+/// accumulated angle and the magnitude.
+[[nodiscard]] VectorResult cordic_vector(Q16 x, Q16 y,
+                                         int iterations = kCordicIterations);
+
+/// Wrap an angle (radians, as a plain double) into (-pi, pi] and quantize.
+[[nodiscard]] Q16 q16_wrap_angle(double radians);
+
+}  // namespace acc::accel

@@ -1,0 +1,112 @@
+#include "accel/fir.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace acc::accel {
+
+std::vector<double> design_lowpass(int taps, double cutoff) {
+  ACC_EXPECTS(taps >= 3 && taps % 2 == 1);
+  ACC_EXPECTS(cutoff > 0.0 && cutoff < 0.5);
+  std::vector<double> h(taps);
+  const int mid = taps / 2;
+  double sum = 0.0;
+  for (int n = 0; n < taps; ++n) {
+    const int k = n - mid;
+    const double sinc =
+        k == 0 ? 2.0 * cutoff
+               : std::sin(2.0 * M_PI * cutoff * k) / (M_PI * k);
+    const double hamming =
+        0.54 - 0.46 * std::cos(2.0 * M_PI * n / (taps - 1));
+    h[n] = sinc * hamming;
+    sum += h[n];
+  }
+  for (double& v : h) v /= sum;  // unit DC gain
+  return h;
+}
+
+std::vector<Q16> quantize_taps(const std::vector<double>& taps) {
+  std::vector<Q16> q;
+  q.reserve(taps.size());
+  for (double t : taps) q.push_back(Q16::from_double(t));
+  return q;
+}
+
+DecimatingFir::DecimatingFir(std::vector<Q16> taps, std::int32_t decimation,
+                             std::string name)
+    : taps_(std::move(taps)),
+      decimation_(decimation),
+      name_(std::move(name)),
+      delay_(taps_.size()) {
+  ACC_EXPECTS(!taps_.empty());
+  ACC_EXPECTS(decimation_ >= 1);
+}
+
+CQ16 DecimatingFir::filter_now() const {
+  // Multiply-accumulate in 64-bit, truncate once at the end — the behaviour
+  // of a wide FPGA accumulator (avoids per-tap quantization noise).
+  std::int64_t acc_re = 0;
+  std::int64_t acc_im = 0;
+  const auto n = static_cast<std::int32_t>(taps_.size());
+  for (std::int32_t i = 0; i < n; ++i) {
+    // delay_[head_] is the newest sample = x[0]; tap 0 applies to it.
+    const std::int32_t idx = (head_ - i + n) % n;
+    const CQ16& s = delay_[idx];
+    const std::int64_t c = taps_[i].raw();
+    acc_re += c * s.re.raw();
+    acc_im += c * s.im.raw();
+  }
+  return CQ16{Q16::from_raw(static_cast<std::int32_t>(acc_re >> 16)),
+              Q16::from_raw(static_cast<std::int32_t>(acc_im >> 16))};
+}
+
+void DecimatingFir::push(CQ16 in, std::vector<CQ16>& out) {
+  head_ = (head_ + 1) % static_cast<std::int32_t>(delay_.size());
+  delay_[head_] = in;
+  if (++phase_ >= decimation_) {
+    phase_ = 0;
+    out.push_back(filter_now());
+  }
+}
+
+std::vector<std::int32_t> DecimatingFir::save_state() const {
+  std::vector<std::int32_t> s;
+  s.reserve(state_words());
+  s.push_back(head_);
+  s.push_back(phase_);
+  for (const CQ16& d : delay_) {
+    s.push_back(d.re.raw());
+    s.push_back(d.im.raw());
+  }
+  return s;
+}
+
+void DecimatingFir::restore_state(std::span<const std::int32_t> state) {
+  ACC_EXPECTS_MSG(state.size() == state_words(),
+                  "FIR state blob has the wrong size");
+  head_ = state[0];
+  phase_ = state[1];
+  ACC_EXPECTS(head_ >= 0 && head_ < static_cast<std::int32_t>(delay_.size()));
+  ACC_EXPECTS(phase_ >= 0 && phase_ < decimation_);
+  for (std::size_t i = 0; i < delay_.size(); ++i) {
+    delay_[i].re = Q16::from_raw(state[2 + 2 * i]);
+    delay_[i].im = Q16::from_raw(state[3 + 2 * i]);
+  }
+}
+
+void DecimatingFir::reset() {
+  head_ = 0;
+  phase_ = 0;
+  delay_.assign(delay_.size(), CQ16{});
+}
+
+std::size_t DecimatingFir::state_words() const {
+  return 2 + 2 * delay_.size();
+}
+
+std::unique_ptr<StreamKernel> DecimatingFir::clone_fresh() const {
+  return std::make_unique<DecimatingFir>(taps_, decimation_, name_);
+}
+
+}  // namespace acc::accel

@@ -1,0 +1,12 @@
+#include "accel/kernel.hpp"
+
+namespace acc::accel {
+
+std::vector<CQ16> run_block(StreamKernel& k, std::span<const CQ16> in) {
+  std::vector<CQ16> out;
+  out.reserve(in.size());
+  for (const CQ16& s : in) k.push(s, out);
+  return out;
+}
+
+}  // namespace acc::accel

@@ -1,0 +1,55 @@
+// Stream-processing kernel interface: the functional model of one
+// accelerator datapath.
+//
+// Kernels are sample-streaming (one input in, zero or more outputs out —
+// down-samplers emit less than they consume) and, crucially for the paper,
+// CONTEXT-SWITCHABLE: all internal state can be saved and restored through
+// save_state()/restore_state(), modelling the accelerator configuration bus
+// that the entry-gateway drives when multiplexing streams. The defining
+// correctness property (tested in kernels_test.cpp) is that interleaving
+// two streams through one kernel with save/restore around each block is
+// bit-identical to running each stream through its own kernel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+
+namespace acc::accel {
+
+class StreamKernel {
+ public:
+  virtual ~StreamKernel() = default;
+
+  /// Process one input sample, appending any produced samples to `out`.
+  virtual void push(CQ16 in, std::vector<CQ16>& out) = 0;
+
+  /// Serialize the complete mutable state (delay lines, phase accumulators,
+  /// decimation counters) as raw 32-bit words — what the configuration bus
+  /// would transfer on a context switch.
+  [[nodiscard]] virtual std::vector<std::int32_t> save_state() const = 0;
+
+  /// Restore state previously captured with save_state().
+  virtual void restore_state(std::span<const std::int32_t> state) = 0;
+
+  /// Reset to the power-on state.
+  virtual void reset() = 0;
+
+  /// Number of 32-bit words save_state() produces (config-bus cost model).
+  [[nodiscard]] virtual std::size_t state_words() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fresh kernel of the same type and static configuration with power-on
+  /// state (used to model per-stream virtual accelerators).
+  [[nodiscard]] virtual std::unique_ptr<StreamKernel> clone_fresh() const = 0;
+};
+
+/// Convenience: run a whole block through a kernel.
+std::vector<CQ16> run_block(StreamKernel& k, std::span<const CQ16> in);
+
+}  // namespace acc::accel

@@ -1,0 +1,88 @@
+// CORDIC-based channel mixer (numerically controlled oscillator).
+//
+// Multiplies the input stream by e^{j * 2*pi * f * n}: the paper's "channel
+// mixer accelerator containing a CORDIC" that shifts one audio carrier of
+// the PAL signal to baseband. State is the NCO phase accumulator.
+#pragma once
+
+#include <cstdint>
+
+#include "accel/kernel.hpp"
+
+namespace acc::accel {
+
+class NcoMixer final : public StreamKernel {
+ public:
+  /// `freq_turns_q32`: NCO step per sample as a signed Q32 fraction of a
+  /// full turn (-0.5 .. 0.5 turns). Using turns (not radians) makes the
+  /// accumulator wrap for free on int32 overflow — exactly what a hardware
+  /// phase accumulator does.
+  explicit NcoMixer(std::int32_t freq_turns_q32, std::string name = "mixer");
+
+  /// Helper: convert a frequency in cycles/sample to the Q32 turns step.
+  [[nodiscard]] static std::int32_t freq_from_normalized(double cycles_per_sample);
+
+  void push(CQ16 in, std::vector<CQ16>& out) override;
+  [[nodiscard]] std::vector<std::int32_t> save_state() const override;
+  void restore_state(std::span<const std::int32_t> state) override;
+  void reset() override;
+  [[nodiscard]] std::size_t state_words() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<StreamKernel> clone_fresh() const override;
+
+ private:
+  std::int32_t step_;  // static configuration
+  std::string name_;
+  std::int32_t phase_ = 0;  // mutable state: Q32 turns, wraps naturally
+};
+
+/// CORDIC AM envelope detector: outputs |x[n]| minus a tracked DC estimate,
+/// i.e. the modulating signal of an AM carrier after mixing to baseband.
+/// Supports the multi-standard receiver scenarios of the paper's context
+/// (ref [8]: multi-standard channel decoding on shared hardware): the same
+/// physical CORDIC tile serves FM streams in vectoring-for-phase mode and
+/// AM streams in vectoring-for-magnitude mode, selected per context.
+/// State: the DC tracker accumulator.
+class AmDetector final : public StreamKernel {
+ public:
+  /// `dc_shift`: DC tracker time constant as a right-shift (larger =
+  /// slower tracking); the envelope is high-passed by subtracting it.
+  explicit AmDetector(int dc_shift = 6, std::string name = "amdet");
+
+  void push(CQ16 in, std::vector<CQ16>& out) override;
+  [[nodiscard]] std::vector<std::int32_t> save_state() const override;
+  void restore_state(std::span<const std::int32_t> state) override;
+  void reset() override;
+  [[nodiscard]] std::size_t state_words() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<StreamKernel> clone_fresh() const override;
+
+ private:
+  int dc_shift_;
+  std::string name_;
+  std::int32_t dc_raw_ = 0;  // mutable state: tracked DC (Q16 raw)
+};
+
+/// CORDIC FM discriminator: outputs the per-sample phase increment of the
+/// input (the instantaneous frequency), i.e. arg(x[n] * conj(x[n-1])) scaled
+/// to (-1, 1] for +-pi. The paper's "accelerator containing a CORDIC module
+/// to convert the data stream from FM radio to normal audio". State is the
+/// previous sample.
+class FmDiscriminator final : public StreamKernel {
+ public:
+  explicit FmDiscriminator(std::string name = "fmdemod");
+
+  void push(CQ16 in, std::vector<CQ16>& out) override;
+  [[nodiscard]] std::vector<std::int32_t> save_state() const override;
+  void restore_state(std::span<const std::int32_t> state) override;
+  void reset() override;
+  [[nodiscard]] std::size_t state_words() const override { return 2; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<StreamKernel> clone_fresh() const override;
+
+ private:
+  std::string name_;
+  CQ16 prev_{};  // mutable state
+};
+
+}  // namespace acc::accel

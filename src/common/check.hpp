@@ -1,0 +1,70 @@
+// Lightweight contract-checking macros in the spirit of the C++ Core
+// Guidelines' Expects/Ensures (GSL). Violations throw, so tests can assert
+// on them and long-running analyses fail loudly instead of corrupting state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace acc {
+
+/// Thrown when a precondition (ACC_EXPECTS) is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a postcondition or internal invariant (ACC_ENSURES /
+/// ACC_CHECK) is violated.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void fail_invariant(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace acc
+
+/// Precondition on a public API. Always enabled; these guard user input.
+#define ACC_EXPECTS(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) ::acc::detail::fail_precondition(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Precondition with an explanatory message (streamable not required).
+#define ACC_EXPECTS_MSG(cond, msg)                                       \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::acc::detail::fail_precondition(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Internal invariant / postcondition. Always enabled: the analyses in this
+/// library back real-time guarantees, so silent corruption is never OK.
+#define ACC_CHECK(cond)                                                  \
+  do {                                                                   \
+    if (!(cond)) ::acc::detail::fail_invariant(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ACC_CHECK_MSG(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::acc::detail::fail_invariant(#cond, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,108 @@
+// Q-format fixed-point arithmetic used by the accelerator datapath models.
+//
+// The paper's accelerators (CORDIC, FIR) are FPGA datapaths; modelling them
+// with fixed-point arithmetic keeps the simulator bit-faithful to what a
+// hardware implementation would compute, and exposes quantization effects in
+// the decoded audio that a double-precision model would hide.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace acc {
+
+/// Signed fixed-point value with FRAC fractional bits stored in 32 bits
+/// (Q(31-FRAC).FRAC). Arithmetic widens to 64 bits internally and saturates
+/// on overflow — matching the usual FPGA DSP-slice behaviour.
+template <int FRAC>
+class Fixed {
+  static_assert(FRAC > 0 && FRAC < 31, "fractional bits must fit in int32");
+
+ public:
+  static constexpr int fractional_bits = FRAC;
+  static constexpr std::int32_t one = std::int32_t{1} << FRAC;
+
+  constexpr Fixed() = default;
+
+  /// Build from raw register contents.
+  static constexpr Fixed from_raw(std::int32_t raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  /// Quantize a double (round-to-nearest, saturating).
+  static Fixed from_double(double v) {
+    const double scaled = v * static_cast<double>(one);
+    const double rounded = scaled >= 0 ? scaled + 0.5 : scaled - 0.5;
+    return from_raw(saturate_i64(static_cast<std::int64_t>(rounded)));
+  }
+
+  [[nodiscard]] constexpr std::int32_t raw() const { return raw_; }
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(raw_) / static_cast<double>(one);
+  }
+
+  friend Fixed operator+(Fixed a, Fixed b) {
+    return from_raw(saturate_i64(std::int64_t{a.raw_} + b.raw_));
+  }
+  friend Fixed operator-(Fixed a, Fixed b) {
+    return from_raw(saturate_i64(std::int64_t{a.raw_} - b.raw_));
+  }
+  friend Fixed operator-(Fixed a) {
+    return from_raw(saturate_i64(-std::int64_t{a.raw_}));
+  }
+  /// Full-precision multiply then truncate back to Q-format (hardware
+  /// multipliers truncate the low product bits).
+  friend Fixed operator*(Fixed a, Fixed b) {
+    const std::int64_t prod = std::int64_t{a.raw_} * std::int64_t{b.raw_};
+    return from_raw(saturate_i64(prod >> FRAC));
+  }
+
+  /// Arithmetic shift right (used by CORDIC micro-rotations).
+  [[nodiscard]] constexpr Fixed asr(int n) const {
+    return from_raw(raw_ >> n);
+  }
+
+  friend constexpr bool operator==(Fixed a, Fixed b) = default;
+  friend constexpr auto operator<=>(Fixed a, Fixed b) = default;
+
+ private:
+  static constexpr std::int32_t saturate_i64(std::int64_t v) {
+    if (v > std::numeric_limits<std::int32_t>::max())
+      return std::numeric_limits<std::int32_t>::max();
+    if (v < std::numeric_limits<std::int32_t>::min())
+      return std::numeric_limits<std::int32_t>::min();
+    return static_cast<std::int32_t>(v);
+  }
+
+  std::int32_t raw_ = 0;
+};
+
+/// The Q-format used throughout the accelerator models: Q2.16 in 32 bits
+/// gives audio-grade SNR while leaving headroom for CORDIC gain (~1.647).
+using Q16 = Fixed<16>;
+
+/// Complex fixed-point sample as streamed between accelerator tiles.
+template <int FRAC>
+struct ComplexFixed {
+  Fixed<FRAC> re;
+  Fixed<FRAC> im;
+
+  friend ComplexFixed operator+(ComplexFixed a, ComplexFixed b) {
+    return {a.re + b.re, a.im + b.im};
+  }
+  friend ComplexFixed operator-(ComplexFixed a, ComplexFixed b) {
+    return {a.re - b.re, a.im - b.im};
+  }
+  friend ComplexFixed operator*(ComplexFixed a, ComplexFixed b) {
+    return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+  }
+  friend constexpr bool operator==(ComplexFixed a, ComplexFixed b) = default;
+};
+
+using CQ16 = ComplexFixed<16>;
+
+}  // namespace acc

@@ -1,0 +1,96 @@
+// Minimal JSON value model, serializer and recursive-descent parser.
+//
+// Used to persist dataflow graphs and system specifications (see
+// dataflow/serialize.hpp) without external dependencies. Supports the full
+// JSON grammar except that numbers are kept as int64 when they are exact
+// integers (the graph formats only use integers) and as double otherwise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace acc::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps key order deterministic — serialized output is canonical.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}           // NOLINT
+  Value(bool b) : v_(b) {}                         // NOLINT
+  Value(std::int64_t i) : v_(i) {}                 // NOLINT
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) : v_(d) {}                       // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}     // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}       // NOLINT
+  Value(Array a) : v_(std::move(a)) {}             // NOLINT
+  Value(Object o) : v_(std::move(o)) {}            // NOLINT
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return get<bool>(); }
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const { return get<std::string>(); }
+  [[nodiscard]] const Array& as_array() const { return get<Array>(); }
+  [[nodiscard]] Array& as_array() { return get<Array>(); }
+  [[nodiscard]] const Object& as_object() const { return get<Object>(); }
+  [[nodiscard]] Object& as_object() { return get<Object>(); }
+
+  /// Object member access; throws on missing key / non-object.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// Optional member access.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Compact canonical serialization.
+  [[nodiscard]] std::string dump() const;
+  /// Indented serialization for humans.
+  [[nodiscard]] std::string pretty(int indent = 2) const;
+
+  friend bool operator==(const Value& a, const Value& b) = default;
+
+ private:
+  template <typename T>
+  [[nodiscard]] const T& get() const {
+    const T* p = std::get_if<T>(&v_);
+    ACC_EXPECTS_MSG(p != nullptr, "JSON value has a different type");
+    return *p;
+  }
+  template <typename T>
+  [[nodiscard]] T& get() {
+    T* p = std::get_if<T>(&v_);
+    ACC_EXPECTS_MSG(p != nullptr, "JSON value has a different type");
+    return *p;
+  }
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      v_;
+};
+
+/// Parse a complete JSON document; nullopt on any syntax error (the error
+/// message, when needed, comes from parse_or_throw).
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+/// Parse or throw acc::precondition_error with position information.
+[[nodiscard]] Value parse_or_throw(std::string_view text);
+
+}  // namespace acc::json

@@ -1,0 +1,32 @@
+#include "common/log.hpp"
+
+#include <iostream>
+
+namespace acc {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel level) { g_level = level; }
+void Log::set_sink(std::ostream* sink) { g_sink = sink; }
+
+void Log::write(LogLevel level, const std::string& msg) {
+  std::ostream& os = g_sink != nullptr ? *g_sink : std::clog;
+  os << '[' << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace acc

@@ -1,0 +1,39 @@
+// Tiny leveled logger. The simulator's per-cycle traces go through this so
+// tests run quietly by default while a failing run can be replayed verbosely.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace acc {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Global log configuration (process-wide; the simulator is single-threaded).
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Redirect output (default: std::clog). Pass nullptr to restore default.
+  static void set_sink(std::ostream* sink);
+
+  static void write(LogLevel level, const std::string& msg);
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+}  // namespace acc
+
+#define ACC_LOG(lvl, expr)                                       \
+  do {                                                           \
+    if (::acc::Log::enabled(lvl)) {                              \
+      std::ostringstream acc_log_os;                             \
+      acc_log_os << expr; /* NOLINT */                           \
+      ::acc::Log::write(lvl, acc_log_os.str());                  \
+    }                                                            \
+  } while (0)
+
+#define ACC_TRACE(expr) ACC_LOG(::acc::LogLevel::kTrace, expr)
+#define ACC_DEBUG(expr) ACC_LOG(::acc::LogLevel::kDebug, expr)
+#define ACC_INFO(expr) ACC_LOG(::acc::LogLevel::kInfo, expr)
+#define ACC_WARN(expr) ACC_LOG(::acc::LogLevel::kWarn, expr)

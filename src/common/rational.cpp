@@ -1,0 +1,133 @@
+#include "common/rational.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace acc {
+
+namespace {
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out))
+    throw std::overflow_error("Rational: 64-bit multiply overflow");
+  return out;
+}
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out))
+    throw std::overflow_error("Rational: 64-bit add overflow");
+  return out;
+}
+
+}  // namespace
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  ACC_EXPECTS(a >= 0 && b >= 0);
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  ACC_EXPECTS(a >= 0 && b >= 0);
+  if (a == 0 || b == 0) return 0;
+  return checked_mul(a / gcd64(a, b), b);
+}
+
+Rational::Rational(std::int64_t num) : num_(num), den_(1) {}
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  ACC_EXPECTS_MSG(den != 0, "Rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    ACC_CHECK(den_ != INT64_MIN && num_ != INT64_MIN);
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = gcd64(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+std::int64_t Rational::floor() const {
+  if (num_ >= 0) return num_ / den_;
+  return -((-num_ + den_ - 1) / den_);
+}
+
+std::int64_t Rational::ceil() const {
+  if (num_ >= 0) return (num_ + den_ - 1) / den_;
+  return -((-num_) / den_);
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d); keeps magnitudes small.
+  const std::int64_t l = lcm64(den_, o.den_);
+  num_ = checked_add(checked_mul(num_, l / den_), checked_mul(o.num_, l / o.den_));
+  den_ = l;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Cross-reduce before multiplying to avoid overflow.
+  const std::int64_t g1 = gcd64(num_ < 0 ? -num_ : num_, o.den_);
+  const std::int64_t g2 = gcd64(o.num_ < 0 ? -o.num_ : o.num_, den_);
+  num_ = checked_mul(num_ / g1, o.num_ / g2);
+  den_ = checked_mul(den_ / g2, o.den_ / g1);
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  ACC_EXPECTS_MSG(!o.is_zero(), "Rational division by zero");
+  return *this *= o.reciprocal();
+}
+
+Rational Rational::reciprocal() const {
+  ACC_EXPECTS_MSG(!is_zero(), "reciprocal of zero");
+  return Rational(den_, num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // Compare a.num/a.den <=> b.num/b.den via cross-multiplication on the lcm
+  // to bound magnitudes.
+  const std::int64_t l = lcm64(a.den_, b.den_);
+  const std::int64_t lhs = checked_mul(a.num_, l / a.den_);
+  const std::int64_t rhs = checked_mul(b.num_, l / b.den_);
+  return lhs <=> rhs;
+}
+
+std::string Rational::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (!r.is_integer()) os << '/' << r.den();
+  return os;
+}
+
+}  // namespace acc

@@ -1,0 +1,69 @@
+// Exact rational arithmetic on 64-bit integers.
+//
+// Used by the dataflow analyses (repetition vectors, maximum cycle ratio)
+// where floating point would silently lose the exactness that real-time
+// guarantees depend on. Overflow is detected and throws.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <numeric>
+#include <string>
+
+namespace acc {
+
+/// Exact rational number num/den with den > 0, always stored normalized
+/// (gcd(|num|, den) == 1). Arithmetic throws std::overflow_error on 64-bit
+/// overflow rather than wrapping.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t num);  // NOLINT(google-explicit-constructor) — ints promote naturally
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] std::int64_t num() const { return num_; }
+  [[nodiscard]] std::int64_t den() const { return den_; }
+
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+
+  /// Largest integer <= value.
+  [[nodiscard]] std::int64_t floor() const;
+  /// Smallest integer >= value.
+  [[nodiscard]] std::int64_t ceil() const;
+  /// Value as double (may lose precision; for reporting only).
+  [[nodiscard]] double to_double() const;
+
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+  friend Rational operator-(const Rational& a) { return Rational(-a.num_, a.den_); }
+
+  friend bool operator==(const Rational& a, const Rational& b) = default;
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+  [[nodiscard]] Rational reciprocal() const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// gcd of two non-negative 64-bit integers (gcd(0, x) == x).
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+/// lcm with overflow detection.
+std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+}  // namespace acc

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random generator for tests and workload generation.
+//
+// splitmix64: tiny, fast, and — unlike std::mt19937 seeded via seed_seq —
+// produces identical streams on every platform, which keeps the property
+// tests and benchmark workloads reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace acc {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  constexpr std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Named distinctly from the integer overload
+  /// so integer literals never silently pick the real-valued distribution.
+  constexpr double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) { return uniform01() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace acc

@@ -1,0 +1,35 @@
+// Minimal ASCII table formatter used by the benchmark harnesses to print
+// paper tables/figures in a uniform, diffable layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acc {
+
+/// Column-aligned ASCII table. Add a header once, then rows; render pads all
+/// cells to the widest entry per column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with single-space-padded pipes, header underline included.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helper ("%.*f").
+std::string fmt_double(double v, int precision = 2);
+
+/// Thousands-separated integer formatting (e.g. 32904 -> "32,904").
+std::string fmt_int(long long v);
+
+}  // namespace acc

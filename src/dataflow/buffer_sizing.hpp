@@ -1,0 +1,84 @@
+// Minimum buffer-capacity computation for (C)SDF graphs.
+//
+// The paper relies on "an existing SDF technique [Geilen/Basten/Stuijk,
+// DAC'05]" to compute minimum buffer capacities for a given throughput and
+// demonstrates (its Fig. 8) that those minimum capacities are NON-MONOTONE
+// in the block size eta. This module provides the capacity computations:
+//
+//  - throughput is monotonically non-decreasing in every channel capacity
+//    (adding space tokens can only enable firings earlier), so a per-channel
+//    binary search is exact when one capacity varies;
+//  - for several channels, an exhaustive staircase search over total
+//    capacity finds the exact minimum-total assignment for small graphs
+//    (the sizes the paper's models have).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rational.hpp"
+#include "dataflow/executor.hpp"
+#include "dataflow/graph.hpp"
+
+namespace acc::df {
+
+struct BufferSizingOptions {
+  /// Hard upper bound considered per channel (throws if exceeded). Kept
+  /// moderate by default: self-timed state recurrence takes O(capacity)
+  /// iterations once queues fill, so huge caps make exact analysis slow.
+  std::int64_t max_capacity = 4096;
+  /// Iteration budget for each underlying throughput analysis.
+  std::int64_t max_iterations = 200000;
+};
+
+/// Smallest capacity a channel must have for its endpoints to fire at all:
+/// the largest single-phase production and consumption must fit.
+[[nodiscard]] std::int64_t channel_capacity_lower_bound(const Graph& g,
+                                                        const Channel& ch);
+
+/// Exact throughput (reference-actor firings per time) of `g` as configured.
+[[nodiscard]] Rational measure_throughput(const Graph& g, ActorId reference,
+                                          const BufferSizingOptions& opt = {});
+
+/// Maximum achievable throughput with all the given channels opened up to
+/// max_capacity (other buffers untouched). Restores capacities on return.
+[[nodiscard]] Rational max_throughput_with_unbounded_channels(
+    Graph& g, const std::vector<Channel>& channels, ActorId reference,
+    const BufferSizingOptions& opt = {});
+
+/// Exact minimum capacity of a single channel such that throughput of
+/// `reference` is >= target, all other buffers untouched. Restores the
+/// original capacity on return. Throws if even max_capacity cannot reach
+/// the target.
+[[nodiscard]] std::int64_t min_channel_capacity_for_throughput(
+    Graph& g, const Channel& ch, ActorId reference, const Rational& target,
+    const BufferSizingOptions& opt = {});
+
+struct MultiBufferResult {
+  std::vector<std::int64_t> capacities;  // parallel to input channels
+  std::int64_t total = 0;
+};
+
+/// One breakpoint of the capacity/throughput trade-off staircase.
+struct ParetoPoint {
+  std::int64_t capacity = 0;   // smallest capacity achieving `throughput`
+  Rational throughput;
+};
+
+/// The full Pareto staircase of one channel: every (capacity, throughput)
+/// breakpoint from the structural minimum up to saturation. Throughput is
+/// monotone in capacity, so the staircase is complete and exact. Restores
+/// the original capacity on return.
+[[nodiscard]] std::vector<ParetoPoint> pareto_buffer_sweep(
+    Graph& g, const Channel& ch, ActorId reference,
+    const BufferSizingOptions& opt = {});
+
+/// Exact minimum-total capacity assignment over `channels` such that the
+/// throughput target is met. Exhaustive staircase search (exponential in the
+/// channel count — intended for the small analysis graphs of the paper).
+/// Restores original capacities on return.
+[[nodiscard]] MultiBufferResult minimize_total_capacity(
+    Graph& g, const std::vector<Channel>& channels, ActorId reference,
+    const Rational& target, const BufferSizingOptions& opt = {});
+
+}  // namespace acc::df

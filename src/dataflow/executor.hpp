@@ -1,0 +1,160 @@
+// Self-timed execution of (C)SDF graphs with exact integer timestamps.
+//
+// Self-timed execution (every actor fires as soon as it is enabled) yields
+// the best-case schedule of a dataflow graph; for strongly-connected,
+// consistent graphs its steady state is periodic and its rate equals the
+// graph's maximum achievable throughput. The paper's analyses reduce to
+// questions this executor answers exactly:
+//   - minimum throughput of the per-stream CSDF model (paper Fig. 5),
+//   - throughput of the single-actor SDF abstraction (paper Fig. 7),
+//   - minimum buffer capacities for a target throughput (paper Fig. 8),
+//   - token production times for the-earlier-the-better refinement checks.
+//
+// Operational semantics: tokens are consumed at firing start and produced at
+// firing end; serialized actors (the CSDF default) have at most one firing in
+// flight; phases advance cyclically in firing-start order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rational.hpp"
+#include "dataflow/graph.hpp"
+#include "dataflow/repetition.hpp"
+
+namespace acc::df {
+
+/// Observation hooks. `on_firing` is invoked when a firing starts (its end
+/// time is already known); `on_produce` once per edge per completed firing
+/// that produced a positive number of tokens.
+struct ExecObservers {
+  std::function<void(ActorId actor, std::int32_t phase, Time start, Time end)>
+      on_firing;
+  std::function<void(EdgeId edge, std::int64_t count, Time when)> on_produce;
+};
+
+/// Post-mortem of a deadlocked execution: which actors starved and what
+/// each one was waiting for.
+struct DeadlockReport {
+  bool deadlocked = false;
+  /// Time at which nothing could fire any more.
+  Time at = 0;
+  /// For every actor that can never fire again: (actor, blocking edge with
+  /// too few tokens for its next phase).
+  struct Starved {
+    ActorId actor = kInvalidActor;
+    EdgeId blocking_edge = -1;
+    std::int64_t tokens_present = 0;
+    std::int64_t tokens_needed = 0;
+  };
+  std::vector<Starved> starved;
+};
+
+/// Run the graph to quiescence and report why it stopped. A live graph
+/// (runs past `horizon` without quiescing) reports deadlocked = false.
+[[nodiscard]] DeadlockReport diagnose_deadlock(const Graph& g,
+                                               Time horizon = 1 << 20);
+
+/// Human-readable rendering of a deadlock report.
+[[nodiscard]] std::string describe(const DeadlockReport& r, const Graph& g);
+
+/// Result of steady-state (throughput) analysis.
+struct ThroughputResult {
+  /// True if execution reached a state where nothing can ever fire again.
+  bool deadlocked = false;
+  /// Completions of the reference actor per unit time in steady state
+  /// (0 if deadlocked).
+  Rational throughput;
+  /// Length of the detected periodic phase in time units.
+  Time period = 0;
+  /// Reference-actor completions within one period.
+  std::int64_t firings_in_period = 0;
+  /// Number of graph iterations executed before the periodic state recurred.
+  std::int64_t transient_iterations = 0;
+};
+
+class SelfTimedExecutor {
+ public:
+  /// The graph must outlive the executor and must validate().
+  explicit SelfTimedExecutor(const Graph& g);
+  /// Guard against dangling references: a temporary graph cannot outlive
+  /// the executor.
+  explicit SelfTimedExecutor(Graph&&) = delete;
+
+  /// Restore all token counts and clocks to the initial state.
+  void reset();
+
+  void set_observers(ExecObservers obs) { observers_ = std::move(obs); }
+
+  /// Run until `actor` has completed `count` firings in total (since reset).
+  /// Returns the completion time of the count-th firing, or nullopt if the
+  /// graph deadlocks first.
+  std::optional<Time> run_until_firings(ActorId actor, std::int64_t count);
+
+  /// Run until the clock passes `horizon` (events at exactly `horizon` are
+  /// processed). Returns false if the graph deadlocked before the horizon.
+  bool run_for(Time horizon);
+
+  /// Detect the periodic steady state by state recurrence at iteration
+  /// boundaries of `reference` and return the exact throughput. Requires a
+  /// consistent graph. `max_iterations` bounds the search.
+  ThroughputResult analyze_throughput(ActorId reference,
+                                      std::int64_t max_iterations = 100000);
+
+  /// Completion times of the first `count` firings of `actor` (runs the
+  /// graph; call on a freshly reset executor for absolute times). Empty
+  /// result slots are absent if the graph deadlocks early.
+  std::vector<Time> completion_times(ActorId actor, std::int64_t count);
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] std::int64_t tokens(EdgeId e) const { return tokens_[e]; }
+  [[nodiscard]] std::int64_t completed_firings(ActorId a) const {
+    return completed_[a];
+  }
+  /// Highest token count ever observed on an edge (buffer occupancy probe).
+  [[nodiscard]] std::int64_t max_tokens_seen(EdgeId e) const {
+    return max_tokens_[e];
+  }
+
+ private:
+  struct Event {
+    Time when;
+    std::int64_t seq;  // tie-break for determinism
+    ActorId actor;
+    std::int32_t phase;
+    friend bool operator>(const Event& a, const Event& b) {
+      return std::tie(a.when, a.seq) > std::tie(b.when, b.seq);
+    }
+  };
+
+  /// Start every enabled firing at the current time (fixpoint: starting one
+  /// firing may enable zero-duration chains).
+  void start_enabled();
+  [[nodiscard]] bool enabled(ActorId a) const;
+  void start_firing(ActorId a);
+  void complete(const Event& ev);
+  /// Advance to the next event time and process all completions there.
+  /// Returns false if no events remain.
+  bool step();
+
+  /// Serialize the timing-relevant state for recurrence detection.
+  [[nodiscard]] std::string state_key() const;
+
+  const Graph& g_;
+  Time now_ = 0;
+  std::int64_t seq_ = 0;
+  std::vector<std::int64_t> tokens_;
+  std::vector<std::int64_t> max_tokens_;
+  std::vector<std::int32_t> next_phase_;
+  std::vector<std::int32_t> in_flight_;
+  std::vector<std::int64_t> completed_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> pending_;
+  ExecObservers observers_;
+};
+
+}  // namespace acc::df

@@ -1,0 +1,51 @@
+// SDF -> HSDF expansion and MCM-based throughput analysis.
+//
+// A consistent SDF graph expands into a Homogeneous SDF (HSDF) graph with
+// r[a] copies of each actor a (r = repetition vector). Throughput then
+// follows from maximum-cycle-mean analysis on the expansion — the classical
+// technique (Sriram & Bhattacharyya) that the paper's parameterized models
+// deliberately avoid (the block size eta keeps the topology symbolic). We
+// use it as an independent oracle to cross-check the self-timed executor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rational.hpp"
+#include "dataflow/graph.hpp"
+#include "dataflow/mcr.hpp"
+
+namespace acc::df {
+
+struct HsdfGraph {
+  /// Node k corresponds to copy `copy[k]` of original actor `origin[k]`.
+  std::vector<ActorId> origin;
+  std::vector<std::int32_t> copy;
+  std::vector<Time> duration;
+  /// Precedence edges: dst firing n waits for src firing n - tokens.
+  std::vector<RatioEdge> edges;
+
+  [[nodiscard]] std::int32_t num_nodes() const {
+    return static_cast<std::int32_t>(origin.size());
+  }
+};
+
+/// Expand a consistent single-phase (SDF) graph. Actors must all have one
+/// phase; serialized actors contribute their implicit self-edge.
+[[nodiscard]] HsdfGraph expand_to_hsdf(const Graph& g);
+
+struct SdfThroughput {
+  bool deadlocked = false;
+  /// Iterations of the full graph per time unit.
+  Rational iterations_per_time;
+  /// Firings of the given reference actor per time unit.
+  Rational firings_per_time;
+};
+
+/// MCM-based throughput of a consistent SDF graph; exact. The reference
+/// actor scales iterations to firings (firings = iterations * r[ref]).
+[[nodiscard]] SdfThroughput sdf_throughput_via_mcm(const Graph& g,
+                                                   ActorId reference);
+
+}  // namespace acc::df

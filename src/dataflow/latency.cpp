@@ -1,0 +1,72 @@
+#include "dataflow/latency.hpp"
+
+#include <algorithm>
+
+namespace acc::df {
+
+std::vector<Time> firing_start_times(const Graph& g, ActorId actor,
+                                     std::int64_t count) {
+  SelfTimedExecutor exec(g);
+  std::vector<Time> starts;
+  ExecObservers obs;
+  obs.on_firing = [&](ActorId a, std::int32_t, Time s, Time) {
+    if (a == actor && static_cast<std::int64_t>(starts.size()) < count)
+      starts.push_back(s);
+  };
+  exec.set_observers(obs);
+  (void)exec.run_until_firings(actor, count);
+  return starts;
+}
+
+std::vector<Time> token_production_times(const Graph& g, EdgeId edge,
+                                         std::int64_t count) {
+  SelfTimedExecutor exec(g);
+  std::vector<Time> times;
+  const ActorId producer = g.edge(edge).src;
+  ExecObservers obs;
+  obs.on_produce = [&](EdgeId e, std::int64_t n, Time t) {
+    if (e != edge) return;
+    for (std::int64_t i = 0;
+         i < n && static_cast<std::int64_t>(times.size()) < count; ++i)
+      times.push_back(t);
+  };
+  exec.set_observers(obs);
+  // Enough producer firings to emit `count` tokens even for phase quanta of
+  // zero: run until the tokens are collected or the graph stalls.
+  std::int64_t firings = count;
+  while (static_cast<std::int64_t>(times.size()) < count) {
+    exec.reset();
+    times.clear();
+    if (!exec.run_until_firings(producer, firings).has_value()) break;
+    firings *= 2;
+    if (firings > (std::int64_t{1} << 40)) break;  // give up: starved edge
+  }
+  return times;
+}
+
+LatencySummary summarize_latency(const std::vector<Time>& stimuli,
+                                 const std::vector<Time>& responses) {
+  LatencySummary out;
+  out.pairs = std::min(stimuli.size(), responses.size());
+  if (out.pairs == 0) return out;
+  out.min = responses[0] - stimuli[0];
+  out.max = out.min;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < out.pairs; ++i) {
+    const Time lat = responses[i] - stimuli[i];
+    ACC_EXPECTS_MSG(lat >= 0, "response precedes its stimulus");
+    out.min = std::min(out.min, lat);
+    out.max = std::max(out.max, lat);
+    sum += static_cast<double>(lat);
+  }
+  out.mean = sum / static_cast<double>(out.pairs);
+  return out;
+}
+
+LatencySummary end_to_end_latency(const Graph& g, ActorId source, EdgeId edge,
+                                  std::int64_t count) {
+  return summarize_latency(firing_start_times(g, source, count),
+                           token_production_times(g, edge, count));
+}
+
+}  // namespace acc::df

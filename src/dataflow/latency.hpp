@@ -1,0 +1,48 @@
+// Token latency measurement on (C)SDF graphs under self-timed execution.
+//
+// Complements the throughput analyses: the paper's gateways trade latency
+// (blocks wait for a whole round) for hardware cost, and this module makes
+// that latency measurable on the analysis models: pair the i-th stimulus
+// (source firing start) with the i-th response (token production on an
+// observed edge).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/executor.hpp"
+#include "dataflow/graph.hpp"
+
+namespace acc::df {
+
+/// Start times of the first `count` firings of `actor` (self-timed run from
+/// the initial state). Shorter if the graph deadlocks.
+[[nodiscard]] std::vector<Time> firing_start_times(const Graph& g,
+                                                   ActorId actor,
+                                                   std::int64_t count);
+
+/// Production times of the first `count` tokens on `edge` (one entry per
+/// token; bulk productions repeat the same timestamp).
+[[nodiscard]] std::vector<Time> token_production_times(const Graph& g,
+                                                       EdgeId edge,
+                                                       std::int64_t count);
+
+struct LatencySummary {
+  std::size_t pairs = 0;  // stimuli/response pairs compared
+  Time min = 0;
+  Time max = 0;
+  double mean = 0.0;
+};
+
+/// Element-wise latency between stimulus times and response times (the
+/// common prefix). Precondition: responses do not precede their stimuli.
+[[nodiscard]] LatencySummary summarize_latency(
+    const std::vector<Time>& stimuli, const std::vector<Time>& responses);
+
+/// End-to-end convenience: latency from `source` firing starts to token
+/// productions on `edge`, over `count` pairs.
+[[nodiscard]] LatencySummary end_to_end_latency(const Graph& g,
+                                                ActorId source, EdgeId edge,
+                                                std::int64_t count);
+
+}  // namespace acc::df

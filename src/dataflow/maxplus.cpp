@@ -1,0 +1,138 @@
+#include "dataflow/maxplus.hpp"
+
+#include "common/check.hpp"
+#include "dataflow/mcr.hpp"
+
+namespace acc::df {
+
+std::int64_t MaxPlus::value() const {
+  ACC_EXPECTS_MSG(finite_, "value() of -inf");
+  return v_;
+}
+
+MaxPlusMatrix::MaxPlusMatrix(std::size_t n) : n_(n), m_(n * n) {
+  ACC_EXPECTS(n >= 1);
+}
+
+MaxPlus MaxPlusMatrix::at(std::size_t r, std::size_t c) const {
+  ACC_EXPECTS(r < n_ && c < n_);
+  return m_[r * n_ + c];
+}
+
+void MaxPlusMatrix::set(std::size_t r, std::size_t c, MaxPlus v) {
+  ACC_EXPECTS(r < n_ && c < n_);
+  m_[r * n_ + c] = v;
+}
+
+MaxPlusMatrix MaxPlusMatrix::identity(std::size_t n) {
+  MaxPlusMatrix id(n);
+  for (std::size_t i = 0; i < n; ++i) id.set(i, i, MaxPlus(0));
+  return id;
+}
+
+MaxPlusMatrix operator*(const MaxPlusMatrix& a, const MaxPlusMatrix& b) {
+  ACC_EXPECTS(a.n_ == b.n_);
+  MaxPlusMatrix out(a.n_);
+  for (std::size_t r = 0; r < a.n_; ++r) {
+    for (std::size_t c = 0; c < a.n_; ++c) {
+      MaxPlus acc = MaxPlus::neg_inf();
+      for (std::size_t k = 0; k < a.n_; ++k)
+        acc = acc | (a.m_[r * a.n_ + k] * b.m_[k * a.n_ + c]);
+      out.m_[r * a.n_ + c] = acc;
+    }
+  }
+  return out;
+}
+
+bool operator==(const MaxPlusMatrix& a, const MaxPlusMatrix& b) {
+  return a.n_ == b.n_ && a.m_ == b.m_;
+}
+
+std::vector<MaxPlus> MaxPlusMatrix::apply(const std::vector<MaxPlus>& x) const {
+  ACC_EXPECTS(x.size() == n_);
+  std::vector<MaxPlus> out(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    MaxPlus acc = MaxPlus::neg_inf();
+    for (std::size_t c = 0; c < n_; ++c) acc = acc | (m_[r * n_ + c] * x[c]);
+    out[r] = acc;
+  }
+  return out;
+}
+
+MaxPlusMatrix MaxPlusMatrix::scaled(std::int64_t lambda) const {
+  MaxPlusMatrix out(n_);
+  for (std::size_t i = 0; i < n_ * n_; ++i)
+    out.m_[i] = m_[i] * MaxPlus(lambda);
+  return out;
+}
+
+std::optional<Rational> maxplus_eigenvalue(const MaxPlusMatrix& m) {
+  // Precedence graph: edge c -> r with weight M[r][c] (x_r(k) depends on
+  // x_c(k-1)), one token per edge; the maximum cycle RATIO then equals the
+  // maximum cycle MEAN.
+  std::vector<RatioEdge> edges;
+  for (std::size_t r = 0; r < m.size(); ++r) {
+    for (std::size_t c = 0; c < m.size(); ++c) {
+      const MaxPlus v = m.at(r, c);
+      if (v.is_neg_inf()) continue;
+      RatioEdge e;
+      e.src = static_cast<std::int32_t>(c);
+      e.dst = static_cast<std::int32_t>(r);
+      // Weights in MCR must be >= 0; shift negatives via tokens? Our
+      // schedule matrices are non-negative; reject others loudly.
+      ACC_EXPECTS_MSG(v.value() >= 0,
+                      "maxplus_eigenvalue expects non-negative entries");
+      e.weight = v.value();
+      e.tokens = 1;
+      edges.push_back(e);
+    }
+  }
+  if (edges.empty()) return std::nullopt;
+  const McrResult r = max_cycle_ratio(static_cast<std::int32_t>(m.size()),
+                                      edges);
+  if (r.acyclic) return std::nullopt;
+  ACC_CHECK(!r.zero_token_cycle);  // all edges carry one token
+  return r.ratio;
+}
+
+std::optional<Cyclicity> maxplus_cyclicity(const MaxPlusMatrix& m,
+                                           std::int64_t max_power) {
+  ACC_EXPECTS(max_power >= 2);
+  // Track powers M^1, M^2, ...; for each new power, test whether it is a
+  // uniform shift of an earlier one.
+  std::vector<MaxPlusMatrix> powers{m};
+  for (std::int64_t k = 2; k <= max_power; ++k) {
+    powers.push_back(powers.back() * m);
+    const MaxPlusMatrix& cur = powers.back();
+    for (std::int64_t k0 = static_cast<std::int64_t>(powers.size()) - 2;
+         k0 >= 0; --k0) {
+      const MaxPlusMatrix& old = powers[static_cast<std::size_t>(k0)];
+      // Find the would-be shift from the first finite entry, then verify.
+      std::optional<std::int64_t> shift;
+      bool match = true;
+      for (std::size_t r = 0; r < m.size() && match; ++r) {
+        for (std::size_t c = 0; c < m.size() && match; ++c) {
+          const MaxPlus a = old.at(r, c);
+          const MaxPlus b = cur.at(r, c);
+          if (a.is_neg_inf() != b.is_neg_inf()) {
+            match = false;
+          } else if (!a.is_neg_inf()) {
+            const std::int64_t d = b.value() - a.value();
+            if (!shift) shift = d;
+            else if (*shift != d) match = false;
+          }
+        }
+      }
+      if (match && shift) {
+        Cyclicity cy;
+        cy.transient = k0 + 1;  // powers[k0] is M^(k0+1)
+        cy.period = k - (k0 + 1);
+        cy.growth = *shift;
+        return cy;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace acc::df

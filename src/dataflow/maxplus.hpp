@@ -1,0 +1,102 @@
+// Max-plus linear algebra.
+//
+// Self-timed dataflow schedules are linear in the (max, +) semiring: if
+// x(k) collects the completion times of the k-th firings, then
+// x(k) = M (x) x(k-1) for a constant matrix M, and the long-run growth rate
+// of M (its max-plus eigenvalue) is the inverse throughput. This module
+// implements the algebra and the two classic results the analyses use:
+//
+//  * eigenvalue(M) = maximum cycle mean of M's precedence graph,
+//  * cyclicity: powers of an irreducible matrix are eventually periodic,
+//    M^(k+c) = lambda*c (x) M^k — which turns "the schedule is eventually
+//    affine in the block size" (sharing/parametric.hpp) from an empirical
+//    observation into a theorem this library checks.
+//
+// Entries are integers or -inf (no dependence), matching the cycle-level
+// models everywhere else in the repository.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/rational.hpp"
+
+namespace acc::df {
+
+/// Max-plus scalar: an integer or "minus infinity" (the semiring zero).
+class MaxPlus {
+ public:
+  constexpr MaxPlus() = default;  // -inf
+  constexpr MaxPlus(std::int64_t v) : finite_(true), v_(v) {}  // NOLINT
+
+  [[nodiscard]] static constexpr MaxPlus neg_inf() { return MaxPlus(); }
+  [[nodiscard]] constexpr bool is_neg_inf() const { return !finite_; }
+  [[nodiscard]] std::int64_t value() const;
+
+  /// Semiring addition: max.
+  friend constexpr MaxPlus operator|(MaxPlus a, MaxPlus b) {
+    if (a.is_neg_inf()) return b;
+    if (b.is_neg_inf()) return a;
+    return MaxPlus(a.v_ > b.v_ ? a.v_ : b.v_);
+  }
+  /// Semiring multiplication: +.
+  friend constexpr MaxPlus operator*(MaxPlus a, MaxPlus b) {
+    if (a.is_neg_inf() || b.is_neg_inf()) return neg_inf();
+    return MaxPlus(a.v_ + b.v_);
+  }
+  friend constexpr bool operator==(MaxPlus a, MaxPlus b) = default;
+
+ private:
+  bool finite_ = false;
+  std::int64_t v_ = std::numeric_limits<std::int64_t>::min();
+};
+
+/// Dense square max-plus matrix.
+class MaxPlusMatrix {
+ public:
+  explicit MaxPlusMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] MaxPlus at(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, MaxPlus v);
+
+  /// Identity: 0 on the diagonal, -inf elsewhere.
+  [[nodiscard]] static MaxPlusMatrix identity(std::size_t n);
+
+  /// Matrix product in (max, +).
+  friend MaxPlusMatrix operator*(const MaxPlusMatrix& a,
+                                 const MaxPlusMatrix& b);
+  friend bool operator==(const MaxPlusMatrix& a, const MaxPlusMatrix& b);
+
+  /// Matrix-vector product.
+  [[nodiscard]] std::vector<MaxPlus> apply(
+      const std::vector<MaxPlus>& x) const;
+
+  /// Add lambda to every finite entry (scalar (x) matrix).
+  [[nodiscard]] MaxPlusMatrix scaled(std::int64_t lambda) const;
+
+ private:
+  std::size_t n_;
+  std::vector<MaxPlus> m_;
+};
+
+/// Max-plus eigenvalue of M = maximum cycle mean of its precedence graph
+/// (edge r -> c of weight M[r][c]); nullopt when M has no cycles through
+/// finite entries (nilpotent — growth is not rate-limited).
+[[nodiscard]] std::optional<Rational> maxplus_eigenvalue(
+    const MaxPlusMatrix& m);
+
+/// Cyclicity: smallest (k0, c, lambda_c) with M^(k0+c) = lambda_c (x) M^k0,
+/// searched up to `max_power`. For an irreducible M, lambda_c / c equals
+/// the eigenvalue. Returns nullopt if no period shows up within the budget.
+struct Cyclicity {
+  std::int64_t transient = 0;   // k0
+  std::int64_t period = 0;      // c
+  std::int64_t growth = 0;      // lambda * c (integer for integer matrices)
+};
+[[nodiscard]] std::optional<Cyclicity> maxplus_cyclicity(
+    const MaxPlusMatrix& m, std::int64_t max_power = 512);
+
+}  // namespace acc::df

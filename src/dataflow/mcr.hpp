@@ -1,0 +1,46 @@
+// Maximum cycle ratio (MCR) analysis on weighted event graphs.
+//
+// An event graph assigns each edge a weight w (time) and a token count t.
+// The maximum cycle ratio  max over cycles C of  (sum of w) / (sum of t)
+// equals the inverse throughput of the corresponding HSDF graph — the
+// classic MCM analysis the paper contrasts its parameterized approach with
+// (it cannot be applied there because the block size eta stays symbolic; we
+// provide it for the fixed-eta cross-checks and as a general analysis tool).
+//
+// The solver combines a floating-point binary search with exact rational
+// verification, so the returned ratio is exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rational.hpp"
+
+namespace acc::df {
+
+struct RatioEdge {
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+  std::int64_t weight = 0;  // accumulated time along the edge
+  std::int64_t tokens = 0;  // initial tokens (iteration delay)
+};
+
+struct McrResult {
+  /// A cycle with zero total tokens exists: the graph deadlocks / the ratio
+  /// is unbounded.
+  bool zero_token_cycle = false;
+  /// True if the graph has no cycles at all (ratio undefined, throughput
+  /// limited only by the actors themselves).
+  bool acyclic = false;
+  /// The exact maximum cycle ratio (valid when neither flag is set).
+  Rational ratio;
+  /// One critical cycle achieving the ratio, as a list of edge indices.
+  std::vector<std::int32_t> critical_cycle;
+};
+
+/// Compute the maximum cycle ratio of the event graph with `num_nodes` nodes.
+/// All weights must be >= 0 and token counts >= 0.
+[[nodiscard]] McrResult max_cycle_ratio(std::int32_t num_nodes,
+                                        const std::vector<RatioEdge>& edges);
+
+}  // namespace acc::df

@@ -1,0 +1,35 @@
+#include "dataflow/refinement.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace acc::df {
+
+RefinementReport check_earlier_the_better(std::span<const Time> refined,
+                                          std::span<const Time> abstraction) {
+  RefinementReport out;
+  out.compared = std::min(refined.size(), abstraction.size());
+  for (std::size_t j = 0; j < out.compared; ++j) {
+    if (refined[j] > abstraction[j]) {
+      out.holds = false;
+      out.violating_index = j;
+      out.refined_time = refined[j];
+      out.abstract_time = abstraction[j];
+      return out;
+    }
+  }
+  return out;
+}
+
+std::string describe(const RefinementReport& r) {
+  std::ostringstream os;
+  if (r.holds) {
+    os << "refinement holds over " << r.compared << " tokens";
+  } else {
+    os << "refinement VIOLATED at token " << r.violating_index << ": refined t="
+       << r.refined_time << " > abstract t=" << r.abstract_time;
+  }
+  return os.str();
+}
+
+}  // namespace acc::df

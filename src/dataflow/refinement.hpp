@@ -1,0 +1,42 @@
+// The-earlier-the-better refinement checking (Geilen & Tripakis, HSCC'11).
+//
+// The paper's correctness argument (its Section III / Fig. 2) is a chain of
+// refinements: hardware ⊑ CSDF model ⊑ single-actor SDF model. Component C
+// refines abstraction C' iff earlier inputs never cause later outputs:
+//     forall i: a(i) <= a'(i)  ==>  forall j: b(j) <= b'(j).
+// Empirically we validate the consequent on matched token streams: every
+// production timestamp of the refined system must be no later than the
+// corresponding timestamp of its abstraction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.hpp"
+
+namespace acc::df {
+
+struct RefinementReport {
+  bool holds = true;
+  /// Index of the first token whose refined time exceeds the abstract time
+  /// (only valid when !holds).
+  std::size_t violating_index = 0;
+  Time refined_time = 0;
+  Time abstract_time = 0;
+  /// Tokens actually compared (min of both lengths).
+  std::size_t compared = 0;
+};
+
+/// Check b(j) <= b_hat(j) for all j over the common prefix. An abstraction
+/// that produced fewer tokens than the refinement within the same horizon is
+/// fine (it is allowed to be slower); the converse is a violation reported
+/// via `holds` only if a common-index comparison fails.
+[[nodiscard]] RefinementReport check_earlier_the_better(
+    std::span<const Time> refined, std::span<const Time> abstraction);
+
+/// Human-readable summary for logs/benches.
+[[nodiscard]] std::string describe(const RefinementReport& r);
+
+}  // namespace acc::df

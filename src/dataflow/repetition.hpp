@@ -1,0 +1,36 @@
+// Repetition vectors and consistency for (C)SDF graphs.
+//
+// A consistent graph admits a minimal positive integer vector r such that
+// for every edge  r[src] * sum(prod) == r[dst] * sum(cons)  where the sums
+// run over one full phase cycle of the respective actor (Bilsen et al.).
+// One "iteration" of the graph fires each actor a for r[a] complete cycles
+// and returns every edge to its initial token count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rational.hpp"
+#include "dataflow/graph.hpp"
+
+namespace acc::df {
+
+struct RepetitionVector {
+  /// True iff the balance equations have a positive solution.
+  bool consistent = false;
+  /// Minimal integer cycle counts per actor (empty if inconsistent).
+  std::vector<std::int64_t> cycles;
+  /// Minimal integer firing counts per actor: cycles[a] * phases(a).
+  std::vector<std::int64_t> firings;
+};
+
+/// Compute the repetition vector. Graphs with several weakly-connected
+/// components get each component scaled to minimal integers independently.
+[[nodiscard]] RepetitionVector compute_repetition_vector(const Graph& g);
+
+/// Total tokens produced on edge e during one full phase cycle of its source.
+[[nodiscard]] std::int64_t cycle_production(const Edge& e);
+/// Total tokens consumed from edge e during one full phase cycle of its sink.
+[[nodiscard]] std::int64_t cycle_consumption(const Edge& e);
+
+}  // namespace acc::df

@@ -1,0 +1,59 @@
+#include "dataflow/schedule.hpp"
+
+#include <algorithm>
+
+namespace acc::df {
+
+PeriodicSchedule periodic_schedule(const HsdfGraph& h, Time period) {
+  ACC_EXPECTS(period >= 1);
+  PeriodicSchedule out;
+  const std::int32_t n = h.num_nodes();
+  out.start.assign(static_cast<std::size_t>(n), 0);
+
+  // Longest-path relaxation on constraints
+  //   start[dst] >= start[src] + weight - period * tokens.
+  // Converges within n rounds iff there is no positive cycle of
+  // (weight - period*tokens), i.e. iff period >= MCR.
+  for (std::int32_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const RatioEdge& e : h.edges) {
+      const Time bound =
+          out.start[e.src] + e.weight - period * e.tokens;
+      if (bound > out.start[e.dst]) {
+        out.start[e.dst] = bound;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      // Normalize the earliest start to zero for readability.
+      Time lo = 0;
+      for (Time s : out.start) lo = std::min(lo, s);
+      for (Time& s : out.start) s -= lo;
+      out.feasible = true;
+      out.period = period;
+      return out;
+    }
+  }
+  out.start.clear();
+  return out;  // positive cycle: period below the maximum cycle ratio
+}
+
+std::optional<Time> minimum_integer_period(const HsdfGraph& h) {
+  const McrResult mcr = max_cycle_ratio(h.num_nodes(), h.edges);
+  if (mcr.zero_token_cycle) return std::nullopt;
+  if (mcr.acyclic) return 1;  // nothing constrains the period
+  return mcr.ratio.ceil();
+}
+
+bool schedule_admissible(const HsdfGraph& h, const PeriodicSchedule& s) {
+  if (!s.feasible ||
+      s.start.size() != static_cast<std::size_t>(h.num_nodes()))
+    return false;
+  for (const RatioEdge& e : h.edges) {
+    if (s.start[e.dst] + s.period * e.tokens < s.start[e.src] + e.weight)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace acc::df

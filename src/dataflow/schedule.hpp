@@ -1,0 +1,46 @@
+// Static periodic schedule (SPS) construction for HSDF graphs.
+//
+// Paper §III: "we can therefore determine the minimum throughput by
+// creating an admissible schedule for the CSDF graph at design time". For
+// single-rate (HSDF) graphs an admissible strictly-periodic schedule with
+// period T assigns each actor a start offset s(v) such that every
+// precedence (u -> v with delta initial tokens, duration rho_u) satisfies
+//
+//     s(v) + T * delta >= s(u) + rho_u          (token available in time)
+//
+// i.e. s(v) - s(u) >= rho_u - T * delta: a system of difference
+// constraints, solvable by longest-path/Bellman-Ford. A feasible SPS exists
+// iff T >= maximum cycle ratio — giving an independent cross-check of the
+// MCR solver and the executor, and concrete design-time start times.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rational.hpp"
+#include "dataflow/hsdf.hpp"
+
+namespace acc::df {
+
+struct PeriodicSchedule {
+  bool feasible = false;
+  /// Start offset per HSDF node, within [0, horizon); node v fires at
+  /// start[v] + k*T for all k >= 0.
+  std::vector<Time> start;
+  Time period = 0;
+};
+
+/// Construct a strictly periodic schedule with integer period T for the
+/// HSDF graph, or report infeasibility (T below the maximum cycle ratio).
+[[nodiscard]] PeriodicSchedule periodic_schedule(const HsdfGraph& h, Time period);
+
+/// Smallest integer period admitting a strictly periodic schedule
+/// (= ceil(maximum cycle ratio)); nullopt when the graph deadlocks.
+[[nodiscard]] std::optional<Time> minimum_integer_period(const HsdfGraph& h);
+
+/// Validate a schedule against every precedence constraint (test oracle).
+[[nodiscard]] bool schedule_admissible(const HsdfGraph& h,
+                                       const PeriodicSchedule& s);
+
+}  // namespace acc::df

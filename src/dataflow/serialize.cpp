@@ -1,0 +1,81 @@
+#include "dataflow/serialize.hpp"
+
+namespace acc::df {
+
+namespace {
+
+json::Array int_list(const std::vector<std::int64_t>& v) {
+  json::Array a;
+  a.reserve(v.size());
+  for (std::int64_t x : v) a.emplace_back(x);
+  return a;
+}
+
+std::vector<std::int64_t> int_vector(const json::Value& v) {
+  std::vector<std::int64_t> out;
+  for (const json::Value& x : v.as_array()) out.push_back(x.as_int());
+  return out;
+}
+
+}  // namespace
+
+json::Value graph_to_json(const Graph& g) {
+  json::Array actors;
+  for (const Actor& a : g.actors()) {
+    json::Object o;
+    o["name"] = a.name;
+    o["durations"] = int_list(a.phase_durations);
+    o["auto_concurrent"] = a.auto_concurrent;
+    actors.emplace_back(std::move(o));
+  }
+  json::Array edges;
+  for (const Edge& e : g.edges()) {
+    json::Object o;
+    o["src"] = static_cast<std::int64_t>(e.src);
+    o["dst"] = static_cast<std::int64_t>(e.dst);
+    o["prod"] = int_list(e.prod);
+    o["cons"] = int_list(e.cons);
+    o["tokens"] = e.initial_tokens;
+    o["name"] = e.name;
+    edges.emplace_back(std::move(o));
+  }
+  json::Object root;
+  root["actors"] = std::move(actors);
+  root["edges"] = std::move(edges);
+  return root;
+}
+
+Graph graph_from_json(const json::Value& v) {
+  Graph g;
+  for (const json::Value& av : v.at("actors").as_array()) {
+    const bool auto_conc =
+        av.find("auto_concurrent") != nullptr && av.at("auto_concurrent").as_bool();
+    g.add_actor(av.at("name").as_string(), int_vector(av.at("durations")),
+                auto_conc);
+  }
+  for (const json::Value& ev : v.at("edges").as_array()) {
+    const auto src = static_cast<ActorId>(ev.at("src").as_int());
+    const auto dst = static_cast<ActorId>(ev.at("dst").as_int());
+    ACC_EXPECTS_MSG(src >= 0 &&
+                        static_cast<std::size_t>(src) < g.num_actors() &&
+                        dst >= 0 &&
+                        static_cast<std::size_t>(dst) < g.num_actors(),
+                    "edge references an unknown actor");
+    const json::Value* name = ev.find("name");
+    g.add_edge(src, dst, int_vector(ev.at("prod")), int_vector(ev.at("cons")),
+               ev.at("tokens").as_int(),
+               name != nullptr ? name->as_string() : std::string{});
+  }
+  g.validate();
+  return g;
+}
+
+std::string graph_to_string(const Graph& g) {
+  return graph_to_json(g).pretty();
+}
+
+Graph graph_from_string(const std::string& text) {
+  return graph_from_json(json::parse_or_throw(text));
+}
+
+}  // namespace acc::df

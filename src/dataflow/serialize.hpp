@@ -1,0 +1,29 @@
+// JSON (de)serialization of (C)SDF graphs — interchange with external
+// tooling and persistent experiment definitions.
+//
+// Format (all numbers integers):
+// {
+//   "actors": [{"name": "...", "durations": [..], "auto_concurrent": bool}],
+//   "edges":  [{"src": i, "dst": j, "prod": [..], "cons": [..],
+//               "tokens": t, "name": "..."}]
+// }
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "dataflow/graph.hpp"
+
+namespace acc::df {
+
+/// Serialize a graph (channels become their two constituent edges).
+[[nodiscard]] json::Value graph_to_json(const Graph& g);
+
+/// Rebuild a graph; throws acc::precondition_error on malformed input.
+[[nodiscard]] Graph graph_from_json(const json::Value& v);
+
+/// Convenience text round-trip.
+[[nodiscard]] std::string graph_to_string(const Graph& g);
+[[nodiscard]] Graph graph_from_string(const std::string& text);
+
+}  // namespace acc::df

@@ -1,0 +1,51 @@
+#include "dataflow/transform.hpp"
+
+#include <numeric>
+
+#include "dataflow/repetition.hpp"
+
+namespace acc::df {
+
+namespace {
+
+Graph rebuild_with_collapsed(const Graph& g,
+                             const std::vector<bool>& collapse) {
+  Graph out;
+  for (std::size_t i = 0; i < g.num_actors(); ++i) {
+    const Actor& a = g.actor(static_cast<ActorId>(i));
+    if (collapse[i] && a.phases() > 1) {
+      const Time total = std::accumulate(a.phase_durations.begin(),
+                                         a.phase_durations.end(), Time{0});
+      out.add_actor(a.name, {total}, a.auto_concurrent);
+    } else {
+      out.add_actor(a.name, a.phase_durations, a.auto_concurrent);
+    }
+  }
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(static_cast<EdgeId>(e));
+    std::vector<std::int64_t> prod = edge.prod;
+    std::vector<std::int64_t> cons = edge.cons;
+    if (collapse[static_cast<std::size_t>(edge.src)] && prod.size() > 1)
+      prod = {cycle_production(edge)};
+    if (collapse[static_cast<std::size_t>(edge.dst)] && cons.size() > 1)
+      cons = {cycle_consumption(edge)};
+    out.add_edge(edge.src, edge.dst, std::move(prod), std::move(cons),
+                 edge.initial_tokens, edge.name);
+  }
+  return out;
+}
+
+}  // namespace
+
+Graph merge_phases(const Graph& g, ActorId a) {
+  ACC_EXPECTS(a >= 0 && static_cast<std::size_t>(a) < g.num_actors());
+  std::vector<bool> collapse(g.num_actors(), false);
+  collapse[static_cast<std::size_t>(a)] = true;
+  return rebuild_with_collapsed(g, collapse);
+}
+
+Graph to_sdf_abstraction(const Graph& g) {
+  return rebuild_with_collapsed(g, std::vector<bool>(g.num_actors(), true));
+}
+
+}  // namespace acc::df

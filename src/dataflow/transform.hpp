@@ -1,0 +1,26 @@
+// Conservative graph transformations.
+//
+// The paper's Fig. 7 step — abstracting a detailed CSDF fragment into a
+// coarser SDF actor — is an instance of a general transformation: replace a
+// CSDF actor by a single-phase actor that (a) consumes a whole cycle's
+// tokens atomically at firing start, (b) fires for the summed phase
+// durations, and (c) produces a whole cycle's tokens atomically at firing
+// end. Under the-earlier-the-better refinement the abstraction is
+// conservative: it can only consume later-or-equal amounts earlier and
+// produce later, so throughput guarantees on the abstracted graph hold for
+// the original (tested empirically in transform_test.cpp).
+#pragma once
+
+#include "dataflow/graph.hpp"
+
+namespace acc::df {
+
+/// Return a copy of `g` where actor `a` is collapsed to one phase:
+/// duration = sum of its phase durations, every edge quantum = the cycle
+/// total. All other actors and edges are unchanged.
+[[nodiscard]] Graph merge_phases(const Graph& g, ActorId a);
+
+/// Collapse every multi-phase actor (full CSDF -> SDF abstraction).
+[[nodiscard]] Graph to_sdf_abstraction(const Graph& g);
+
+}  // namespace acc::df

@@ -1,0 +1,101 @@
+#include "radio/decoder.hpp"
+
+#include <cmath>
+
+#include "accel/fir.hpp"
+#include "common/check.hpp"
+
+namespace acc::radio {
+
+std::vector<cplx> mix_to_baseband(std::span<const cplx> in, double carrier_hz,
+                                  double sample_rate) {
+  ACC_EXPECTS(sample_rate > 0);
+  std::vector<cplx> out;
+  out.reserve(in.size());
+  const double w = -2.0 * M_PI * carrier_hz / sample_rate;
+  double phase = 0.0;
+  for (const cplx& s : in) {
+    phase += w;
+    if (phase > M_PI) phase -= 2.0 * M_PI;
+    if (phase < -M_PI) phase += 2.0 * M_PI;
+    out.push_back(s * std::polar(1.0, phase));
+  }
+  return out;
+}
+
+std::vector<cplx> fir_decimate(std::span<const cplx> in,
+                               std::span<const double> taps, int decimation) {
+  ACC_EXPECTS(!taps.empty());
+  ACC_EXPECTS(decimation >= 1);
+  std::vector<cplx> out;
+  out.reserve(in.size() / static_cast<std::size_t>(decimation) + 1);
+  // Mirror the accelerator's streaming behaviour: output every
+  // `decimation`-th input, filtering over the preceding taps.size() samples
+  // (zero history before the stream starts).
+  for (std::size_t i = decimation - 1; i < in.size();
+       i += static_cast<std::size_t>(decimation)) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      if (k > i) break;
+      acc += taps[k] * in[i - k];
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<double> fm_discriminate(std::span<const cplx> in) {
+  std::vector<double> out;
+  out.reserve(in.size());
+  cplx prev{0.0, 0.0};
+  for (const cplx& s : in) {
+    out.push_back(std::arg(s * std::conj(prev)) / M_PI);
+    prev = s;
+  }
+  return out;
+}
+
+std::vector<double> decode_fm_channel(std::span<const cplx> baseband,
+                                      double carrier_hz,
+                                      const DecoderConfig& cfg) {
+  const std::vector<cplx> mixed =
+      mix_to_baseband(baseband, carrier_hz, cfg.sample_rate);
+  const std::vector<double> taps1 =
+      accel::design_lowpass(cfg.fir_taps, cfg.cutoff1);
+  const std::vector<cplx> stage1 = fir_decimate(mixed, taps1, cfg.decimation1);
+  const std::vector<double> fm = fm_discriminate(stage1);
+  // The discriminator reports (-1,1] for +-pi per sample at the decimated
+  // rate; rescale so a full-deviation tone comes back with amplitude 1.
+  const double rate1 = cfg.sample_rate / cfg.decimation1;
+  const double gain = rate1 / (2.0 * cfg.deviation_hz);
+  std::vector<cplx> scaled;
+  scaled.reserve(fm.size());
+  for (double v : fm) scaled.emplace_back(gain * v, 0.0);
+  const std::vector<double> taps2 =
+      accel::design_lowpass(cfg.fir_taps, cfg.cutoff2);
+  const std::vector<cplx> stage2 = fir_decimate(scaled, taps2, cfg.decimation2);
+  std::vector<double> audio;
+  audio.reserve(stage2.size());
+  for (const cplx& s : stage2) audio.push_back(s.real());
+  return audio;
+}
+
+StereoDecodeResult decode_stereo(std::span<const cplx> baseband,
+                                 const DecoderConfig& cfg) {
+  StereoDecodeResult r;
+  const std::vector<double> ch1 =
+      decode_fm_channel(baseband, cfg.carrier1_hz, cfg);  // (L+R)/2
+  const std::vector<double> ch2 =
+      decode_fm_channel(baseband, cfg.carrier2_hz, cfg);  // R
+  const std::size_t n = std::min(ch1.size(), ch2.size());
+  r.left.resize(n);
+  r.right.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r.right[i] = ch2[i];
+    r.left[i] = 2.0 * ch1[i] - ch2[i];
+  }
+  r.audio_rate = cfg.sample_rate / (cfg.decimation1 * cfg.decimation2);
+  return r;
+}
+
+}  // namespace acc::radio

@@ -1,0 +1,61 @@
+// Floating-point reference decoder for the PAL stereo audio ensemble.
+//
+// Implements the same chain as the paper's Fig. 10 — mix to baseband,
+// LPF + 8:1 down-sample, FM discriminate, LPF + 8:1 down-sample, per audio
+// carrier, then reconstruct L from (L+R)/2 and R — but in double precision
+// with no accelerator sharing. It serves as the golden model the fixed-point
+// accelerator chain and the full MPSoC simulation are checked against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radio/signal.hpp"
+
+namespace acc::radio {
+
+struct DecoderConfig {
+  double sample_rate = 64 * 44100.0;  // front-end complex rate
+  double carrier1_hz = 180000.0;
+  double carrier2_hz = 420000.0;
+  double deviation_hz = 50000.0;
+  int fir_taps = 33;
+  int decimation1 = 8;
+  int decimation2 = 8;
+  /// Normalized cutoff of the two low-pass stages (fraction of the stage's
+  /// input rate). Chosen to pass the FM signal / audio while attenuating
+  /// the neighbouring carrier and discriminator images.
+  double cutoff1 = 0.06;
+  double cutoff2 = 0.06;
+};
+
+/// Decode one FM subcarrier to audio at sample_rate / (decim1 * decim2).
+[[nodiscard]] std::vector<double> decode_fm_channel(std::span<const cplx> baseband,
+                                                    double carrier_hz,
+                                                    const DecoderConfig& cfg);
+
+struct StereoDecodeResult {
+  std::vector<double> left;
+  std::vector<double> right;
+  /// Audio output rate = cfg.sample_rate / (decim1 * decim2).
+  double audio_rate = 0.0;
+};
+
+/// Full stereo decode: carrier 1 yields (L+R)/2, carrier 2 yields R;
+/// L = 2 * ch1 - R (the software reconstruction task of Fig. 10).
+[[nodiscard]] StereoDecodeResult decode_stereo(std::span<const cplx> baseband,
+                                               const DecoderConfig& cfg);
+
+/// Building blocks, exposed for reuse by the accelerator-based decoder.
+[[nodiscard]] std::vector<cplx> mix_to_baseband(std::span<const cplx> in,
+                                                double carrier_hz,
+                                                double sample_rate);
+[[nodiscard]] std::vector<cplx> fir_decimate(std::span<const cplx> in,
+                                             std::span<const double> taps,
+                                             int decimation);
+/// Per-sample phase increment scaled to (-1, 1] (+-pi == +-1); first output
+/// uses an implicit zero-valued previous sample.
+[[nodiscard]] std::vector<double> fm_discriminate(std::span<const cplx> in);
+
+}  // namespace acc::radio

@@ -1,0 +1,56 @@
+#include "radio/metrics.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace acc::radio {
+
+double goertzel_power(std::span<const double> signal, double sample_rate,
+                      double freq_hz) {
+  ACC_EXPECTS(sample_rate > 0);
+  if (signal.empty()) return 0.0;
+  const double w = 2.0 * M_PI * freq_hz / sample_rate;
+  const double coeff = 2.0 * std::cos(w);
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  for (double x : signal) {
+    s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  const auto n = static_cast<double>(signal.size());
+  const double real = s1 - s2 * std::cos(w);
+  const double imag = s2 * std::sin(w);
+  // |X(f)|^2 * 2 / N^2 == 0.5 for a unit sine.
+  return (real * real + imag * imag) * 2.0 / (n * n);
+}
+
+double mean_power(std::span<const double> signal) {
+  if (signal.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : signal) acc += x * x;
+  return acc / static_cast<double>(signal.size());
+}
+
+double tone_snr_db(std::span<const double> signal, double sample_rate,
+                   double freq_hz, std::size_t skip) {
+  ACC_EXPECTS(skip < signal.size());
+  const std::span<const double> body = signal.subspan(skip);
+  const double tone = goertzel_power(body, sample_rate, freq_hz);
+  const double total = mean_power(body);
+  const double noise = total - tone;
+  if (noise <= 0.0) return 200.0;  // numerically perfect
+  return 10.0 * std::log10(tone / noise);
+}
+
+void remove_dc(std::span<double> signal) {
+  if (signal.empty()) return;
+  double mean = 0.0;
+  for (double x : signal) mean += x;
+  mean /= static_cast<double>(signal.size());
+  for (double& x : signal) x -= mean;
+}
+
+}  // namespace acc::radio

@@ -1,0 +1,30 @@
+// Audio quality metrics used to validate decoded output against the known
+// test material (the synthesized broadcast carries pure tones, so tone SNR
+// is a crisp end-to-end pass/fail criterion).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace acc::radio {
+
+/// Power of the component at `freq_hz` (Goertzel, rectangular window over
+/// the whole span), normalized so a unit-amplitude sine reports 0.5.
+[[nodiscard]] double goertzel_power(std::span<const double> signal,
+                                    double sample_rate, double freq_hz);
+
+/// Total mean power of the signal.
+[[nodiscard]] double mean_power(std::span<const double> signal);
+
+/// SNR (dB) of the tone at freq_hz: tone power over everything else
+/// (including DC and distortion). `skip` drops leading samples so filter
+/// transients don't count against the decoder.
+[[nodiscard]] double tone_snr_db(std::span<const double> signal,
+                                 double sample_rate, double freq_hz,
+                                 std::size_t skip = 0);
+
+/// Remove the mean (DC) in place — FM discriminators leave a DC offset
+/// proportional to residual carrier error.
+void remove_dc(std::span<double> signal);
+
+}  // namespace acc::radio

@@ -1,0 +1,70 @@
+#include "radio/signal.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace acc::radio {
+
+std::vector<double> render_tones(std::span<const Tone> tones,
+                                 double sample_rate, std::size_t n) {
+  ACC_EXPECTS(sample_rate > 0);
+  std::vector<double> out(n, 0.0);
+  for (const Tone& t : tones) {
+    const double w = 2.0 * M_PI * t.freq_hz / sample_rate;
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] += t.amplitude * std::sin(w * static_cast<double>(i) + t.phase);
+  }
+  return out;
+}
+
+std::vector<cplx> fm_modulate(std::span<const double> audio, double carrier_hz,
+                              double deviation_hz, double sample_rate,
+                              double amplitude) {
+  ACC_EXPECTS(sample_rate > 0);
+  ACC_EXPECTS(deviation_hz >= 0);
+  std::vector<cplx> out;
+  out.reserve(audio.size());
+  // Phase integrates the instantaneous frequency carrier + dev * audio.
+  double phase = 0.0;
+  const double wc = 2.0 * M_PI * carrier_hz / sample_rate;
+  const double wd = 2.0 * M_PI * deviation_hz / sample_rate;
+  for (double a : audio) {
+    phase += wc + wd * a;
+    // Keep the accumulator small for numerical stability over long runs.
+    if (phase > M_PI) phase -= 2.0 * M_PI;
+    if (phase < -M_PI) phase += 2.0 * M_PI;
+    out.emplace_back(amplitude * std::cos(phase), amplitude * std::sin(phase));
+  }
+  return out;
+}
+
+StereoSource render_stereo_tones(std::span<const Tone> left,
+                                 std::span<const Tone> right,
+                                 double sample_rate, std::size_t n) {
+  StereoSource s;
+  s.left = render_tones(left, sample_rate, n);
+  s.right = render_tones(right, sample_rate, n);
+  return s;
+}
+
+std::vector<cplx> synthesize_pal_stereo(const PalStereoConfig& cfg,
+                                        const StereoSource& source) {
+  ACC_EXPECTS(source.left.size() == source.right.size());
+  const std::size_t n = source.left.size();
+  // Carrier 1: (L+R)/2 to keep |audio| <= 1; carrier 2: R.
+  std::vector<double> sum(n);
+  for (std::size_t i = 0; i < n; ++i)
+    sum[i] = 0.5 * (source.left[i] + source.right[i]);
+  const std::vector<cplx> c1 =
+      fm_modulate(sum, cfg.carrier1_hz, cfg.deviation_hz, cfg.sample_rate,
+                  cfg.carrier_amplitude);
+  const std::vector<cplx> c2 =
+      fm_modulate(source.right, cfg.carrier2_hz, cfg.deviation_hz,
+                  cfg.sample_rate, cfg.carrier_amplitude);
+  std::vector<cplx> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = c1[i] + c2[i];
+  return out;
+}
+
+}  // namespace acc::radio

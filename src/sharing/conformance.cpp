@@ -1,0 +1,88 @@
+#include "sharing/conformance.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "sharing/analysis.hpp"
+
+namespace acc::sharing {
+
+ConformanceReport check_conformance(const SharedSystemSpec& sys,
+                                    const std::vector<std::int64_t>& etas,
+                                    const sim::TraceLog& trace,
+                                    sim::Cycle slack) {
+  sys.validate();
+  ACC_EXPECTS(etas.size() == sys.num_streams());
+
+  ConformanceReport rep;
+  const Time gamma = gamma_hat(sys, etas);
+
+  auto violate = [&](const char* rule, sim::Cycle at, const std::string& d) {
+    rep.conforms = false;
+    rep.violations.push_back(ConformanceViolation{rule, d, at});
+  };
+
+  // Pair admits with completions per stream and check each service window.
+  std::map<std::int64_t, sim::Cycle> open_admit;  // stream -> admit time
+  std::map<std::int64_t, sim::Cycle> last_done;   // stream -> last done
+  // since_last[v][w]: services of w since v's own last service. Heuristic
+  // RR rule: between two consecutive services of v, no other stream is
+  // served twice. (A starved v could legitimately relax this; the
+  // admission-gated gateways of this library keep backlogged streams
+  // admissible, so the rule holds on conforming traces.)
+  std::map<std::int64_t, std::map<std::int64_t, std::int64_t>> since_last;
+
+  for (const sim::TraceEvent& e : trace.events()) {
+    if (e.event == "admit") {
+      open_admit[e.value] = e.cycle;
+      for (const auto& [other, count] : since_last[e.value]) {
+        if (count > 1) {
+          std::ostringstream os;
+          os << "stream " << other << " served " << count
+             << " times between services of stream " << e.value;
+          violate("round_robin", e.cycle, os.str());
+        }
+      }
+      since_last[e.value].clear();
+      for (auto& [v, counts] : since_last)
+        if (v != e.value) ++counts[e.value];
+    } else if (e.event == "block.done") {
+      rep.blocks_checked++;
+      const auto it = open_admit.find(e.value);
+      if (it == open_admit.end()) {
+        violate("tau_hat", e.cycle, "completion without a matching admit");
+        continue;
+      }
+      // Eq. 2: service time of one block once the gateway turned to it.
+      const Time bound =
+          tau_hat(sys, static_cast<std::size_t>(e.value),
+                  etas[static_cast<std::size_t>(e.value)]) + slack;
+      const sim::Cycle service = e.cycle - it->second;
+      if (service > bound) {
+        std::ostringstream os;
+        os << "stream " << e.value << " block served in " << service
+           << " > tau_hat+slack " << bound;
+        violate("tau_hat", e.cycle, os.str());
+      }
+      open_admit.erase(it);
+      // Eq. 4: completions of a backlogged stream no farther apart than a
+      // full round. (Only meaningful when the stream was immediately
+      // re-admittable; a conservative check uses gamma + slack and skips
+      // gaps larger than 2*gamma, which indicate input starvation instead.)
+      const auto prev = last_done.find(e.value);
+      if (prev != last_done.end()) {
+        const sim::Cycle gap = e.cycle - prev->second;
+        if (gap > gamma + slack && gap < 2 * gamma) {
+          std::ostringstream os;
+          os << "stream " << e.value << " completion gap " << gap
+             << " exceeds gamma_hat+slack " << (gamma + slack);
+          violate("gamma_spacing", e.cycle, os.str());
+        }
+      }
+      last_done[e.value] = e.cycle;
+    }
+  }
+  return rep;
+}
+
+}  // namespace acc::sharing

@@ -1,0 +1,45 @@
+// Conformance checking: does a RUNNING system obey its analysis model?
+//
+// The paper's guarantees are only as good as the implementation's
+// conformance to the CSDF abstraction. This module closes that loop at
+// runtime: feed it the entry-gateway event trace of a simulation (or, on
+// real hardware, of an instrumented gateway) and it verifies, block by
+// block, that
+//   1. every block's service time (admit -> block.done) stays within
+//      tau_hat + the notification latency (Eq. 2),
+//   2. consecutive completions of the same stream stay within gamma_hat of
+//      each other once the stream is backlogged (Eq. 4),
+//   3. round-robin order is respected (no stream is served twice while
+//      another admissible stream waits is approximated by: between two
+//      services of stream s, every OTHER stream is served at most once).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sharing/spec.hpp"
+#include "sim/trace.hpp"
+
+namespace acc::sharing {
+
+struct ConformanceViolation {
+  std::string rule;     // "tau_hat", "gamma_spacing", "round_robin"
+  std::string detail;
+  sim::Cycle at = 0;
+};
+
+struct ConformanceReport {
+  bool conforms = true;
+  std::int64_t blocks_checked = 0;
+  std::vector<ConformanceViolation> violations;
+};
+
+/// Check an entry-gateway trace against the analysis model. `etas` are the
+/// configured block sizes (one per stream, indexed by trace stream id);
+/// `slack` absorbs the exit-notification and interconnect latencies that
+/// the abstract model does not account for.
+[[nodiscard]] ConformanceReport check_conformance(
+    const SharedSystemSpec& sys, const std::vector<std::int64_t>& etas,
+    const sim::TraceLog& trace, sim::Cycle slack = 16);
+
+}  // namespace acc::sharing

@@ -1,0 +1,112 @@
+#include "sharing/csdf_model.hpp"
+
+#include "sharing/analysis.hpp"
+
+namespace acc::sharing {
+
+namespace {
+
+/// <x, (n-1) copies of y>.
+std::vector<std::int64_t> first_then(std::int64_t n, std::int64_t x,
+                                     std::int64_t y) {
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n), y);
+  v[0] = x;
+  return v;
+}
+
+/// <(n-1) copies of y, x>.
+std::vector<std::int64_t> last_is(std::int64_t n, std::int64_t y,
+                                  std::int64_t x) {
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n), y);
+  v[static_cast<std::size_t>(n) - 1] = x;
+  return v;
+}
+
+}  // namespace
+
+CsdfStreamModel build_csdf_stream_model(const SharedSystemSpec& sys,
+                                        std::size_t stream,
+                                        const CsdfModelOptions& opt) {
+  sys.validate();
+  ACC_EXPECTS(stream < sys.num_streams());
+  ACC_EXPECTS(opt.eta >= 1);
+  ACC_EXPECTS_MSG(opt.alpha0 >= opt.eta,
+                  "alpha0 must hold at least one block (admission checks "
+                  "eta input tokens atomically)");
+  ACC_EXPECTS_MSG(opt.alpha3 >= opt.eta,
+                  "alpha3 must hold at least one block (admission reserves "
+                  "eta output slots atomically)");
+
+  const ChainSpec& chain = sys.chain;
+  const StreamSpec& st = sys.streams[stream];
+  const std::int64_t eta = opt.eta;
+
+  CsdfStreamModel m;
+  df::Graph& g = m.graph;
+
+  m.producer = g.add_sdf_actor("vP", opt.producer_period);
+
+  // Entry-gateway: eta phases. Phase 0 carries contention + reconfiguration
+  // + the first sample's forwarding; the rest forward one sample each
+  // (Eq. 1: rho_G0[0] = s_hat + R_s + epsilon).
+  std::vector<Time> g0_dur(static_cast<std::size_t>(eta),
+                           chain.entry_cycles_per_sample);
+  g0_dur[0] = opt.contention + st.reconfig + chain.entry_cycles_per_sample;
+  m.entry = g.add_actor("vG0", std::move(g0_dur));
+
+  for (std::size_t a = 0; a < chain.num_accelerators(); ++a) {
+    m.accelerators.push_back(g.add_sdf_actor(
+        "vA" + std::to_string(a), chain.accel_cycles_per_sample[a]));
+  }
+
+  std::vector<Time> g1_dur(static_cast<std::size_t>(eta),
+                           chain.exit_cycles_per_sample);
+  m.exit = g.add_actor("vG1", std::move(g1_dur));
+
+  m.consumer = g.add_sdf_actor("vC", opt.consumer_period);
+
+  // alpha0: vP -> vG0. vG0 claims the whole block in phase 0 and returns
+  // the input-buffer space one sample at a time as it forwards.
+  m.input_buffer = g.add_channel(
+      m.producer, m.entry, /*prod=*/{1},
+      /*cons=*/first_then(eta, eta, 0), /*capacity=*/opt.alpha0,
+      /*initial_tokens=*/0, "alpha0");
+
+  // NI channels through the chain; every hop forwards one sample per phase.
+  df::ActorId prev = m.entry;
+  std::vector<std::int64_t> one_per_entry_phase(static_cast<std::size_t>(eta),
+                                                1);
+  for (std::size_t a = 0; a < chain.num_accelerators(); ++a) {
+    const df::ActorId acc = m.accelerators[a];
+    m.ni_channels.push_back(g.add_channel(
+        prev, acc,
+        prev == m.entry ? one_per_entry_phase : std::vector<std::int64_t>{1},
+        {1}, chain.ni_capacity, 0, "ni" + std::to_string(a)));
+    prev = acc;
+  }
+  m.ni_channels.push_back(g.add_channel(
+      prev, m.exit,
+      prev == m.entry ? one_per_entry_phase : std::vector<std::int64_t>{1},
+      std::vector<std::int64_t>(static_cast<std::size_t>(eta), 1),
+      chain.ni_capacity, 0, "ni_exit"));
+
+  // alpha3 data: vG1 -> vC, one token per exit phase.
+  m.output_data = g.add_edge(
+      m.exit, m.consumer, std::vector<std::int64_t>(eta, 1), {1}, 0, "out.data");
+  // alpha3 space: vC -> vG0 — the entry-gateway checks output space at
+  // admission (the paper's Section V-G justifies why this check must exist).
+  // Initially the buffer is empty, so all alpha3 slots are free.
+  m.output_space =
+      g.add_edge(m.consumer, m.entry, {1}, first_then(eta, eta, 0),
+                 opt.alpha3, "out.space");
+
+  // Pipeline-idle token: produced by vG1's last phase, consumed by vG0's
+  // first phase; one initial token (the pipeline starts idle).
+  m.idle_edge = g.add_edge(m.exit, m.entry, last_is(eta, 0, 1),
+                           first_then(eta, 1, 0), 1, "idle");
+
+  g.validate();
+  return m;
+}
+
+}  // namespace acc::sharing

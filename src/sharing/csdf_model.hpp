@@ -1,0 +1,72 @@
+// Construction of the per-stream CSDF temporal analysis model (paper Fig. 5).
+//
+// For each stream multiplexed over the shared chain, a separate CSDF graph
+// conservatively models the hardware:
+//
+//   vP --[alpha0 buffer]--> vG0 --[NI]--> vA... --[NI]--> vG1 --> vC
+//         ^                  ^  ^------------- idle token ----|
+//         |                  '----- output-space edge from vC (alpha3)
+//
+//  - vG0 (entry-gateway) has eta phases. Phase 0 atomically claims the whole
+//    block (eta input tokens), eta output-space tokens, and the
+//    pipeline-idle token; its duration folds in the worst-case wait for
+//    other streams (s_hat) plus reconfiguration R_s plus the per-sample
+//    forwarding cost epsilon. Phases 1..eta-1 each forward one sample.
+//  - vA actors (one per accelerator) are single-phase SDF actors.
+//  - vG1 (exit-gateway) has eta phases; each delivers one sample to vC and
+//    the last one returns the pipeline-idle token to vG0.
+//  - NI channels have the hardware FIFO depth (alpha1 = alpha2 = 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/graph.hpp"
+#include "sharing/spec.hpp"
+
+namespace acc::sharing {
+
+struct CsdfModelOptions {
+  /// Block size eta_s for the modelled stream.
+  std::int64_t eta = 1;
+  /// Input buffer capacity between producer and entry-gateway (alpha0).
+  std::int64_t alpha0 = 1;
+  /// Output buffer capacity between exit-gateway and consumer (alpha3).
+  std::int64_t alpha3 = 1;
+  /// Producer firing duration rho_P (cycles per produced sample).
+  Time producer_period = 1;
+  /// Consumer firing duration rho_C (cycles per consumed sample).
+  Time consumer_period = 1;
+  /// Worst-case wait for other streams, folded into vG0's first phase
+  /// (s_hat_s; 0 models an otherwise-idle pipeline as in paper Fig. 6).
+  Time contention = 0;
+};
+
+/// Handles into the generated graph.
+struct CsdfStreamModel {
+  df::Graph graph;
+  df::ActorId producer = df::kInvalidActor;
+  df::ActorId entry = df::kInvalidActor;
+  std::vector<df::ActorId> accelerators;
+  df::ActorId exit = df::kInvalidActor;
+  df::ActorId consumer = df::kInvalidActor;
+
+  /// alpha0: producer -> entry data edge + entry -> producer space edge.
+  df::Channel input_buffer{};
+  /// Data half of alpha3: exit -> consumer.
+  df::EdgeId output_data = -1;
+  /// Space half of alpha3: consumer -> ENTRY (the paper's output-space
+  /// check happens at block admission, not at the exit-gateway).
+  df::EdgeId output_space = -1;
+  /// Pipeline-idle token: exit -> entry, one initial token.
+  df::EdgeId idle_edge = -1;
+  /// NI channels along the chain (entry->A0, A0->A1, ..., Ak-1->exit).
+  std::vector<df::Channel> ni_channels;
+};
+
+/// Build the Fig. 5 CSDF model of `stream` within `sys`.
+[[nodiscard]] CsdfStreamModel build_csdf_stream_model(
+    const SharedSystemSpec& sys, std::size_t stream,
+    const CsdfModelOptions& opt);
+
+}  // namespace acc::sharing

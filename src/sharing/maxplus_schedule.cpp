@@ -1,0 +1,87 @@
+#include "sharing/maxplus_schedule.hpp"
+
+#include "sharing/analysis.hpp"
+
+namespace acc::sharing {
+
+using df::MaxPlus;
+using df::MaxPlusMatrix;
+
+Time MaxPlusChain::completion(std::int64_t eta) const {
+  ACC_EXPECTS(eta >= 1);
+  std::vector<MaxPlus> y = initial_;
+  for (std::int64_t j = 1; j < eta; ++j) y = step_.apply(y);
+  return y[stages_ - 1].value();
+}
+
+std::optional<Rational> MaxPlusChain::eigenvalue() const {
+  return df::maxplus_eigenvalue(step_);
+}
+
+std::optional<df::Cyclicity> MaxPlusChain::cyclicity(
+    std::int64_t max_power) const {
+  return df::maxplus_cyclicity(step_, max_power);
+}
+
+MaxPlusChain build_maxplus_chain(const SharedSystemSpec& sys,
+                                 std::size_t stream) {
+  sys.validate();
+  ACC_EXPECTS(stream < sys.num_streams());
+  const ChainSpec& chain = sys.chain;
+
+  // Stage durations: entry gateway, accelerators, exit gateway.
+  std::vector<Time> dur{chain.entry_cycles_per_sample};
+  for (Time rho : chain.accel_cycles_per_sample) dur.push_back(rho);
+  dur.push_back(chain.exit_cycles_per_sample);
+  const std::size_t stages = dur.size();
+  const auto alpha = static_cast<std::size_t>(chain.ni_capacity);
+
+  // State: alpha blocks of `stages` entries — F(j), F(j-1), ..,
+  // F(j-alpha+1). One step advances j by one.
+  const std::size_t state = stages * alpha;
+  MaxPlusChain mc(state);
+  mc.stages_ = stages;
+
+  // Rows for the F(j) block are built by forward substitution: each stage's
+  // dependence on the SAME step's upstream stage folds into the upstream
+  // row (lower-triangular elimination in max-plus).
+  std::vector<std::vector<MaxPlus>> rows(
+      stages, std::vector<MaxPlus>(state, MaxPlus::neg_inf()));
+  for (std::size_t m = 0; m < stages; ++m) {
+    std::vector<MaxPlus> deps(state, MaxPlus::neg_inf());
+    // F_m(j-1): entry m of the first (previous-step) block.
+    deps[m] = MaxPlus(0);
+    // F_{m+1}(j-alpha): entry m+1 of the (alpha-1)-th previous block —
+    // available in the state only when alpha >= 2 (paper hardware: 2).
+    if (m + 1 < stages && alpha >= 2) {
+      deps[stages * (alpha - 1) + (m + 1)] = MaxPlus(0);
+    }
+    // F_{m-1}(j): substitute the already-built upstream row.
+    if (m > 0) {
+      for (std::size_t c = 0; c < state; ++c)
+        deps[c] = deps[c] | rows[m - 1][c];
+    }
+    for (std::size_t c = 0; c < state; ++c)
+      rows[m][c] = deps[c] * MaxPlus(dur[m]);
+  }
+  for (std::size_t m = 0; m < stages; ++m)
+    for (std::size_t c = 0; c < state; ++c) mc.step_.set(m, c, rows[m][c]);
+  // Shift blocks: y(j)[block b] = y(j-1)[block b-1] for b >= 1... block b
+  // holds F(j-b); after the step F(j-b) = previous F(j-(b-1)).
+  for (std::size_t b = 1; b < alpha; ++b) {
+    for (std::size_t m = 0; m < stages; ++m)
+      mc.step_.set(stages * b + m, stages * (b - 1) + m, MaxPlus(0));
+  }
+
+  // Initial vector y(1): the first sample ripples down the idle pipeline
+  // after reconfiguration; all older history is -inf.
+  mc.initial_.assign(state, MaxPlus::neg_inf());
+  Time t = sys.streams[stream].reconfig;
+  for (std::size_t m = 0; m < stages; ++m) {
+    t += dur[m];
+    mc.initial_[m] = MaxPlus(t);
+  }
+  return mc;
+}
+
+}  // namespace acc::sharing

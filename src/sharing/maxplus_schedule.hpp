@@ -1,0 +1,58 @@
+// Max-plus formulation of the parameterized block schedule.
+//
+// The Fig. 6 pipeline recurrence
+//   F_m(j) = d_m + max( F_{m-1}(j),        data from upstream
+//                       F_m(j-1),          stage serialization
+//                       F_{m+1}(j-alpha) ) credit back-pressure
+// is linear in the (max, +) semiring, so one sample step is a constant
+// matrix M on the state y(j) = (F(j), F(j-1), ..., F(j-alpha+1)):
+// y(j) = M (x) y(j-1). This module builds M and the initial vector, from
+// which everything in the paper's §V follows *algebraically*:
+//   - completion(eta) = exact tau(eta) (cross-checked against the
+//     closed-form schedule and the executed CSDF model),
+//   - the max-plus eigenvalue of M is the per-sample cost — Eq. 2's slope
+//     c0 as a spectral property,
+//   - matrix cyclicity IS the "eventually affine in eta" fact that
+//     sharing/parametric.hpp established empirically.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dataflow/maxplus.hpp"
+#include "sharing/spec.hpp"
+
+namespace acc::sharing {
+
+class MaxPlusChain {
+ public:
+  /// Exact completion time of a block of eta samples (pipeline idle, inputs
+  /// ready — the Fig. 6 scenario).
+  [[nodiscard]] Time completion(std::int64_t eta) const;
+
+  /// Max-plus eigenvalue of the step matrix = asymptotic cycles/sample.
+  [[nodiscard]] std::optional<Rational> eigenvalue() const;
+
+  /// Cyclicity of the step matrix (proves the affine law and yields its
+  /// period/growth).
+  [[nodiscard]] std::optional<df::Cyclicity> cyclicity(
+      std::int64_t max_power = 512) const;
+
+  [[nodiscard]] const df::MaxPlusMatrix& step() const { return step_; }
+
+  friend MaxPlusChain build_maxplus_chain(const SharedSystemSpec& sys,
+                                          std::size_t stream);
+
+ private:
+  explicit MaxPlusChain(std::size_t state) : step_(state) {}
+
+  df::MaxPlusMatrix step_;
+  std::vector<df::MaxPlus> initial_;  // y(1): first sample through the chain
+  std::size_t stages_ = 0;
+};
+
+/// Build the max-plus model of `stream`'s chain in `sys`.
+[[nodiscard]] MaxPlusChain build_maxplus_chain(const SharedSystemSpec& sys,
+                                               std::size_t stream);
+
+}  // namespace acc::sharing

@@ -1,0 +1,62 @@
+#include "sharing/parametric.hpp"
+
+namespace acc::sharing {
+
+Time ParametricCompletion::eval(std::int64_t eta) const {
+  ACC_EXPECTS(eta >= 1);
+  if (eta < eta_linear_)
+    return prefix_[static_cast<std::size_t>(eta - 1)];
+  return slope_ * eta + intercept_;
+}
+
+ParametricCompletion parametric_block_completion(const SharedSystemSpec& sys,
+                                                 std::size_t stream) {
+  sys.validate();
+  ACC_EXPECTS(stream < sys.num_streams());
+
+  ParametricCompletion out;
+  // Compute exact completions until the first differences stabilize for a
+  // whole pipeline-depth worth of steps: once every stage has entered its
+  // steady pattern, the schedule recurrence is shift-invariant in eta and
+  // the completion is affine forever after.
+  const std::size_t depth =
+      sys.chain.num_accelerators() + 2;  // stages incl. gateways
+  const std::size_t stable_needed = 2 * depth + 2;
+  std::vector<Time> tau;
+  std::size_t stable = 0;
+  for (std::int64_t eta = 1; eta <= 4096; ++eta) {
+    tau.push_back(block_schedule(sys, stream, eta).completion);
+    if (tau.size() >= 3) {
+      const Time d1 = tau[tau.size() - 1] - tau[tau.size() - 2];
+      const Time d2 = tau[tau.size() - 2] - tau[tau.size() - 3];
+      stable = d1 == d2 ? stable + 1 : 0;
+    }
+    if (stable >= stable_needed) break;
+  }
+  ACC_CHECK_MSG(stable >= stable_needed,
+                "block completion never became affine (modelling bug)");
+
+  const std::int64_t eta_hi = static_cast<std::int64_t>(tau.size());
+  out.slope_ = tau[tau.size() - 1] - tau[tau.size() - 2];
+  out.intercept_ = tau[tau.size() - 1] - out.slope_ * eta_hi;
+  // Find the smallest eta where the affine law already holds.
+  std::int64_t eta_linear = eta_hi;
+  while (eta_linear > 1 &&
+         tau[static_cast<std::size_t>(eta_linear - 2)] ==
+             out.slope_ * (eta_linear - 1) + out.intercept_) {
+    --eta_linear;
+  }
+  out.eta_linear_ = eta_linear;
+  out.prefix_.assign(tau.begin(), tau.begin() + (eta_linear - 1));
+
+  // Verify extrapolation exactness far beyond the construction horizon.
+  for (const std::int64_t probe : {8 * eta_hi, 1024 + eta_hi, 100000 + 0L}) {
+    if (probe <= eta_hi) continue;
+    ACC_CHECK_MSG(block_schedule(sys, stream, probe).completion ==
+                      out.slope_ * probe + out.intercept_,
+                  "affine extrapolation mismatch (modelling bug)");
+  }
+  return out;
+}
+
+}  // namespace acc::sharing

@@ -1,0 +1,54 @@
+// Parameterized schedule analysis: the block completion time as a closed
+// function of the block size eta.
+//
+// The paper's §V argument is that MCM analysis cannot be used because eta
+// stays a symbolic parameter, so instead "we construct a schedule that is
+// parameterized in the block size". This module constructs that
+// parameterization from the architecture: the exact completion tau(eta) of
+// the Fig. 6 schedule is eventually AFFINE in eta,
+//
+//     tau(eta) = slope * eta + intercept      for eta >= eta_linear,
+//
+// with slope equal to the bottleneck stage cost c0 — the structural content
+// of Eq. 2, derived rather than assumed. The initial (pipeline-fill)
+// completions below eta_linear are tabulated exactly. Extrapolation
+// exactness is verified at construction time against the closed-form
+// schedule, so eval() is exact for every eta.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sharing/analysis.hpp"
+#include "sharing/spec.hpp"
+
+namespace acc::sharing {
+
+class ParametricCompletion {
+ public:
+  /// Exact completion time for any block size.
+  [[nodiscard]] Time eval(std::int64_t eta) const;
+
+  [[nodiscard]] Time slope() const { return slope_; }
+  [[nodiscard]] Time intercept() const { return intercept_; }
+  /// Smallest eta from which tau(eta) is exactly affine.
+  [[nodiscard]] std::int64_t eta_linear() const { return eta_linear_; }
+
+  friend ParametricCompletion parametric_block_completion(
+      const SharedSystemSpec& sys, std::size_t stream);
+
+ private:
+  Time slope_ = 0;
+  Time intercept_ = 0;
+  std::int64_t eta_linear_ = 1;
+  std::vector<Time> prefix_;  // exact tau for eta in [1, eta_linear)
+};
+
+/// Construct the parameterization for `stream` of `sys` (pipeline assumed
+/// idle, inputs ready — the Fig. 6 scenario). Throws if the schedule never
+/// becomes affine within a generous horizon (cannot happen for finite
+/// chains; guards modelling bugs).
+[[nodiscard]] ParametricCompletion parametric_block_completion(
+    const SharedSystemSpec& sys, std::size_t stream);
+
+}  // namespace acc::sharing

@@ -1,0 +1,56 @@
+// Design-report generation: one call turns a SharedSystemSpec into the
+// complete analysis a designer needs — schedulability, Algorithm-1 block
+// sizes (both solvers), worst-case round, per-stream bounds, buffer
+// capacities and the derived completion law — rendered as markdown.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sharing/blocksize.hpp"
+#include "sharing/parametric.hpp"
+#include "sharing/spec.hpp"
+
+namespace acc::sharing {
+
+struct ReportOptions {
+  /// Per-stream sample periods (cycles) used for buffer sizing; empty =
+  /// derive from mu as floor(1/mu) (exact when mu is a unit fraction).
+  std::vector<Time> sample_periods;
+  /// Per-stream downstream claim granularity; empty = all 1.
+  std::vector<std::int64_t> consumer_chunks;
+  /// Skip the (comparatively expensive) buffer computation.
+  bool size_buffers = true;
+};
+
+struct StreamReport {
+  std::string name;
+  Rational mu;
+  std::int64_t eta = 0;
+  Time tau_hat = 0;   // Eq. 2 bound on the block
+  Time s_hat = 0;     // worst-case wait for other streams
+  Rational guaranteed_rate;  // eta / gamma
+  std::optional<StreamBufferResult> buffers;
+};
+
+struct SystemReport {
+  bool schedulable = false;
+  Rational utilization;
+  Time gamma = 0;
+  bool solvers_agree = false;
+  std::vector<StreamReport> streams;
+  /// Derived completion law tau(eta) = slope*eta + intercept (stream 0's
+  /// chain — identical for all streams up to R_s).
+  Time law_slope = 0;
+  Time law_intercept = 0;
+
+  /// Render as a markdown document.
+  [[nodiscard]] std::string to_markdown(const SharedSystemSpec& sys) const;
+};
+
+/// Run the full analysis pipeline.
+[[nodiscard]] SystemReport analyze_system(const SharedSystemSpec& sys,
+                                          const ReportOptions& opt = {});
+
+}  // namespace acc::sharing

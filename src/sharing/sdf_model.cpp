@@ -1,0 +1,28 @@
+#include "sharing/sdf_model.hpp"
+
+namespace acc::sharing {
+
+SdfStreamModel build_sdf_stream_model(const SdfModelOptions& opt) {
+  ACC_EXPECTS(opt.eta >= 1);
+  ACC_EXPECTS(opt.consumer_chunk >= 1);
+  ACC_EXPECTS_MSG(opt.alpha0 >= opt.eta &&
+                      opt.alpha3 >= std::max(opt.eta, opt.consumer_chunk),
+                  "buffers must hold at least one block");
+  ACC_EXPECTS(opt.shared_duration >= 0);
+
+  SdfStreamModel m;
+  df::Graph& g = m.graph;
+  m.producer = g.add_sdf_actor("vP", opt.producer_period);
+  m.shared = g.add_sdf_actor("vS", opt.shared_duration);
+  m.consumer = g.add_sdf_actor("vC", opt.consumer_period);
+
+  m.input_buffer = g.add_channel(m.producer, m.shared, {1}, {opt.eta},
+                                 opt.alpha0, 0, "alpha0");
+  m.output_buffer =
+      g.add_channel(m.shared, m.consumer, {opt.eta}, {opt.consumer_chunk},
+                    opt.alpha3, 0, "alpha3");
+  g.validate();
+  return m;
+}
+
+}  // namespace acc::sharing

@@ -1,0 +1,46 @@
+// The single-actor SDF abstraction of a shared chain (paper Fig. 7).
+//
+// The whole dashed box of the CSDF model (gateways + accelerators) collapses
+// into one SDF actor vS with firing duration gamma_hat_s that consumes and
+// produces eta_s tokens atomically. The paper proves (via the-earlier-the-
+// better refinement) that throughput guarantees derived on this coarser
+// model also hold for the CSDF model and the hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "dataflow/graph.hpp"
+#include "sharing/spec.hpp"
+
+namespace acc::sharing {
+
+struct SdfModelOptions {
+  std::int64_t eta = 1;
+  std::int64_t alpha0 = 1;
+  std::int64_t alpha3 = 1;
+  Time producer_period = 1;
+  Time consumer_period = 1;
+  /// Firing duration of the abstract shared actor; use gamma_hat from
+  /// analysis.hpp (or tau_hat + s_hat for a specific contention scenario).
+  Time shared_duration = 1;
+  /// Samples the consumer claims atomically per firing. 1 models a plain
+  /// sample-rate consumer; >1 models a down-stream block consumer (e.g. the
+  /// next gateway stream admitting blocks, or a down-sampler), the source
+  /// of the paper's Fig. 8 non-monotonicity. consumer_period is per FIRING,
+  /// so a rate-preserving chunked consumer has period chunk * sample_period.
+  std::int64_t consumer_chunk = 1;
+};
+
+struct SdfStreamModel {
+  df::Graph graph;
+  df::ActorId producer = df::kInvalidActor;
+  df::ActorId shared = df::kInvalidActor;  // vS
+  df::ActorId consumer = df::kInvalidActor;
+  df::Channel input_buffer{};   // alpha0
+  df::Channel output_buffer{};  // alpha3
+};
+
+/// Build the Fig. 7 abstraction: vP -> [alpha0] -> vS -> [alpha3] -> vC.
+[[nodiscard]] SdfStreamModel build_sdf_stream_model(const SdfModelOptions& opt);
+
+}  // namespace acc::sharing

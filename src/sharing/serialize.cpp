@@ -1,0 +1,60 @@
+#include "sharing/serialize.hpp"
+
+namespace acc::sharing {
+
+json::Value spec_to_json(const SharedSystemSpec& sys) {
+  json::Object chain;
+  json::Array accels;
+  for (Time rho : sys.chain.accel_cycles_per_sample) accels.emplace_back(rho);
+  chain["accelerators"] = std::move(accels);
+  chain["entry"] = sys.chain.entry_cycles_per_sample;
+  chain["exit"] = sys.chain.exit_cycles_per_sample;
+  chain["ni_capacity"] = sys.chain.ni_capacity;
+
+  json::Array streams;
+  for (const StreamSpec& s : sys.streams) {
+    json::Object o;
+    o["name"] = s.name;
+    o["mu_num"] = s.mu.num();
+    o["mu_den"] = s.mu.den();
+    o["reconfig"] = s.reconfig;
+    streams.emplace_back(std::move(o));
+  }
+
+  json::Object root;
+  root["chain"] = std::move(chain);
+  root["streams"] = std::move(streams);
+  return root;
+}
+
+SharedSystemSpec spec_from_json(const json::Value& v) {
+  SharedSystemSpec sys;
+  const json::Value& chain = v.at("chain");
+  sys.chain.accel_cycles_per_sample.clear();
+  for (const json::Value& a : chain.at("accelerators").as_array())
+    sys.chain.accel_cycles_per_sample.push_back(a.as_int());
+  sys.chain.entry_cycles_per_sample = chain.at("entry").as_int();
+  sys.chain.exit_cycles_per_sample = chain.at("exit").as_int();
+  if (const json::Value* ni = chain.find("ni_capacity"))
+    sys.chain.ni_capacity = ni->as_int();
+
+  for (const json::Value& sv : v.at("streams").as_array()) {
+    StreamSpec s;
+    s.name = sv.at("name").as_string();
+    s.mu = Rational(sv.at("mu_num").as_int(), sv.at("mu_den").as_int());
+    s.reconfig = sv.at("reconfig").as_int();
+    sys.streams.push_back(std::move(s));
+  }
+  sys.validate();
+  return sys;
+}
+
+std::string spec_to_string(const SharedSystemSpec& sys) {
+  return spec_to_json(sys).pretty();
+}
+
+SharedSystemSpec spec_from_string(const std::string& text) {
+  return spec_from_json(json::parse_or_throw(text));
+}
+
+}  // namespace acc::sharing

@@ -1,0 +1,74 @@
+// Specification of a shared-accelerator system: one entry/exit gateway pair
+// multiplexing a set of real-time streams over a chain of accelerators.
+//
+// This mirrors Section IV of the paper. The published case-study values are
+// the defaults: accelerators and exit-gateway process 1 cycle/sample, the
+// entry-gateway needs epsilon = 15 cycles/sample, reconfiguration takes
+// R_s = 4100 cycles, and the accelerator network interfaces buffer
+// alpha1 = alpha2 = 2 tokens.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rational.hpp"
+#include "dataflow/graph.hpp"
+
+namespace acc::sharing {
+
+using df::Time;
+
+/// One data stream multiplexed over the shared accelerator chain.
+struct StreamSpec {
+  std::string name;
+  /// Minimum required throughput in samples per clock cycle (mu_s). E.g.
+  /// 44.1 kS/s on a 100 MHz system is Rational(441, 1'000'000).
+  Rational mu;
+  /// Context-switch cost R_s in cycles (save + restore accelerator state).
+  Time reconfig = 4100;
+};
+
+/// The shared chain of accelerators between one entry/exit gateway pair.
+struct ChainSpec {
+  /// Per-accelerator processing time in cycles/sample (rho_A), in chain
+  /// order. The paper's case study uses 1 cycle/sample accelerators.
+  std::vector<Time> accel_cycles_per_sample{1};
+  /// Entry-gateway forwarding cost epsilon in cycles/sample.
+  Time entry_cycles_per_sample = 15;
+  /// Exit-gateway forwarding cost delta in cycles/sample.
+  Time exit_cycles_per_sample = 1;
+  /// Network-interface FIFO depth between gateways and accelerators
+  /// (alpha1/alpha2 in the paper's Fig. 5): two tokens on the real hardware.
+  std::int64_t ni_capacity = 2;
+
+  [[nodiscard]] std::size_t num_accelerators() const {
+    return accel_cycles_per_sample.size();
+  }
+};
+
+/// Complete system: the chain plus every stream sharing it.
+struct SharedSystemSpec {
+  ChainSpec chain;
+  std::vector<StreamSpec> streams;
+
+  [[nodiscard]] std::size_t num_streams() const { return streams.size(); }
+
+  void validate() const {
+    ACC_EXPECTS_MSG(!streams.empty(), "system needs at least one stream");
+    ACC_EXPECTS_MSG(!chain.accel_cycles_per_sample.empty(),
+                    "chain needs at least one accelerator");
+    for (Time rho : chain.accel_cycles_per_sample) ACC_EXPECTS(rho >= 1);
+    ACC_EXPECTS(chain.entry_cycles_per_sample >= 1);
+    ACC_EXPECTS(chain.exit_cycles_per_sample >= 1);
+    ACC_EXPECTS(chain.ni_capacity >= 1);
+    for (const StreamSpec& s : streams) {
+      ACC_EXPECTS_MSG(s.mu > Rational(0), "stream '" + s.name +
+                                              "' needs positive throughput");
+      ACC_EXPECTS(s.reconfig >= 0);
+    }
+  }
+};
+
+}  // namespace acc::sharing

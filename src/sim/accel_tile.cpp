@@ -1,0 +1,109 @@
+#include "sim/accel_tile.hpp"
+
+namespace acc::sim {
+
+AcceleratorTile::AcceleratorTile(std::string name, DualRing& ring,
+                                 std::int32_t node, Cycle cycles_per_sample,
+                                 std::int64_t ni_capacity)
+    : name_(std::move(name)),
+      ring_(ring),
+      node_(node),
+      cycles_per_sample_(cycles_per_sample),
+      ni_capacity_(ni_capacity) {
+  ACC_EXPECTS(cycles_per_sample >= 1);
+  ACC_EXPECTS(ni_capacity >= 1);
+}
+
+void AcceleratorTile::register_context(StreamId id,
+                                       std::unique_ptr<accel::StreamKernel> k) {
+  ACC_EXPECTS(k != nullptr);
+  ACC_EXPECTS_MSG(contexts_.find(id) == contexts_.end(),
+                  "duplicate context for stream");
+  contexts_[id] = std::move(k);
+  if (active_ < 0) active_ = id;
+}
+
+void AcceleratorTile::swap_context(StreamId id) {
+  ACC_EXPECTS_MSG(contexts_.count(id) == 1, "unknown stream context");
+  ACC_EXPECTS_MSG(drained(), "context switch on a non-drained accelerator");
+  active_ = id;
+  if (trace_ != nullptr) trace_->record(last_now_, name_, "ctx.switch", id);
+}
+
+std::size_t AcceleratorTile::context_words() const {
+  ACC_EXPECTS(active_ >= 0);
+  return contexts_.at(active_)->state_words();
+}
+
+void AcceleratorTile::set_upstream(std::int32_t node, std::uint32_t tag) {
+  upstream_node_ = node;
+  upstream_tag_ = tag;
+}
+
+void AcceleratorTile::set_downstream(std::int32_t node, std::uint32_t tag,
+                                     std::int64_t credits) {
+  downstream_node_ = node;
+  downstream_tag_ = tag;
+  credits_ = credits;
+}
+
+void AcceleratorTile::drain_network(Cycle) {
+  for (const RingMsg& m : ring_.data().drain(node_)) {
+    ACC_CHECK_MSG(static_cast<std::int64_t>(input_.size()) < ni_capacity_,
+                  name_ + ": NI input overflow (credit protocol violated)");
+    input_.push_back(m.payload);
+  }
+  for (const RingMsg& m : ring_.credit().drain(node_)) {
+    (void)m;
+    ++credits_;
+  }
+}
+
+void AcceleratorTile::tick(Cycle now) {
+  last_now_ = now;
+  drain_network(now);
+
+  // Return credits owed to the upstream producer (retry on ring pressure).
+  while (pending_credit_returns_ > 0 && upstream_node_ >= 0) {
+    RingMsg credit;
+    credit.dst = upstream_node_;
+    credit.tag = upstream_tag_;
+    if (!ring_.credit().try_inject(node_, credit)) break;
+    --pending_credit_returns_;
+  }
+
+  // Core pipeline: finish the in-flight sample.
+  if (core_busy_ && now >= core_done_at_) {
+    core_busy_ = false;
+    for (const CQ16& s : scratch_out_) pending_out_.push_back(pack_sample(s));
+    scratch_out_.clear();
+    ++processed_;
+  }
+
+  // Start the next sample: needs input and room for the worst-case output
+  // burst (kernels emit at most one sample per input here).
+  if (!core_busy_ && !input_.empty() &&
+      static_cast<std::int64_t>(pending_out_.size()) < ni_capacity_) {
+    ACC_CHECK_MSG(active_ >= 0, name_ + ": no active context");
+    const Flit f = input_.front();
+    input_.pop_front();
+    ++pending_credit_returns_;  // slot freed: credit goes back upstream
+    contexts_.at(active_)->push(unpack_sample(f), scratch_out_);
+    core_busy_ = true;
+    core_done_at_ = now + cycles_per_sample_;
+  }
+  if (core_busy_) ++busy_cycles_;
+
+  // Forward finished samples downstream, consuming credits.
+  while (!pending_out_.empty() && credits_ > 0 && downstream_node_ >= 0) {
+    RingMsg m;
+    m.dst = downstream_node_;
+    m.tag = downstream_tag_;
+    m.payload = pending_out_.front();
+    if (!ring_.data().try_inject(node_, m)) break;
+    pending_out_.pop_front();
+    --credits_;
+  }
+}
+
+}  // namespace acc::sim

@@ -1,0 +1,98 @@
+// Accelerator tile: a context-switchable stream accelerator behind a
+// network interface with credit-based flow control (paper Fig. 3b).
+//
+// The tile consumes data flits from its upstream producer (entry-gateway or
+// a previous accelerator), runs its currently-selected per-stream kernel at
+// `cycles_per_sample`, and forwards results downstream when it holds
+// credits for the consumer's NI buffer. Credits are returned to the
+// upstream over the credit ring whenever the tile pops a flit out of its
+// input FIFO. Context switches (selecting another stream's kernel state)
+// are performed by the entry-gateway via swap_context(); the accelerator
+// itself "has no notion of other aspects of the system".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/kernel.hpp"
+#include "sim/component.hpp"
+#include "sim/ring.hpp"
+#include "sim/trace.hpp"
+
+namespace acc::sim {
+
+using StreamId = std::int32_t;
+
+class AcceleratorTile final : public Component {
+ public:
+  AcceleratorTile(std::string name, DualRing& ring, std::int32_t node,
+                  Cycle cycles_per_sample, std::int64_t ni_capacity = 2);
+
+  /// Register stream `id`'s virtual accelerator (kernel type + power-on
+  /// state). The entry-gateway's configuration memory holds one context per
+  /// multiplexed stream.
+  void register_context(StreamId id, std::unique_ptr<accel::StreamKernel> k);
+
+  /// Gateway-side context switch: requires the pipeline to be drained.
+  /// Instantaneous here — the R_s switching time is charged by the gateway,
+  /// which stalls the whole chain while the configuration bus runs.
+  void swap_context(StreamId id);
+
+  /// Expected upstream producer (for credit returns).
+  void set_upstream(std::int32_t node, std::uint32_t tag);
+  /// Downstream consumer NI: node, message tag and its buffer depth
+  /// (initial credits).
+  void set_downstream(std::int32_t node, std::uint32_t tag,
+                      std::int64_t credits);
+
+  void tick(Cycle now) override;
+
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  [[nodiscard]] std::int32_t node() const { return node_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool drained() const {
+    return input_.empty() && pending_out_.empty() && !core_busy_;
+  }
+  [[nodiscard]] std::int64_t samples_processed() const { return processed_; }
+  [[nodiscard]] std::int64_t busy_cycles() const { return busy_cycles_; }
+  /// Words a context switch moves for this tile's active kernel (config-bus
+  /// cost model input).
+  [[nodiscard]] std::size_t context_words() const;
+
+ private:
+  void drain_network(Cycle now);
+
+  std::string name_;
+  DualRing& ring_;
+  std::int32_t node_;
+  Cycle cycles_per_sample_;
+  std::int64_t ni_capacity_;
+
+  std::int32_t upstream_node_ = -1;
+  std::uint32_t upstream_tag_ = 0;
+  std::int32_t downstream_node_ = -1;
+  std::uint32_t downstream_tag_ = 0;
+  std::int64_t credits_ = 0;
+
+  std::map<StreamId, std::unique_ptr<accel::StreamKernel>> contexts_;
+  StreamId active_ = -1;
+
+  std::deque<Flit> input_;
+  std::deque<Flit> pending_out_;
+  std::vector<CQ16> scratch_out_;
+  bool core_busy_ = false;
+  Cycle core_done_at_ = 0;
+  std::int64_t pending_credit_returns_ = 0;
+
+  std::int64_t processed_ = 0;
+  std::int64_t busy_cycles_ = 0;
+  TraceLog* trace_ = nullptr;
+  Cycle last_now_ = 0;
+};
+
+}  // namespace acc::sim

@@ -1,0 +1,66 @@
+#include "sim/cfifo.hpp"
+
+#include <algorithm>
+
+namespace acc::sim {
+
+CFifo::CFifo(std::string name, std::int64_t capacity,
+             Cycle read_visibility_lag, Cycle write_visibility_lag)
+    : name_(std::move(name)),
+      capacity_(capacity),
+      rlag_(read_visibility_lag),
+      wlag_(write_visibility_lag) {
+  ACC_EXPECTS(capacity >= 1);
+  ACC_EXPECTS(read_visibility_lag >= 0 && write_visibility_lag >= 0);
+}
+
+std::int64_t CFifo::space_visible(Cycle now) const {
+  last_now_ = std::max(last_now_, now);
+  // Writer sees: capacity - (its own pushes) + (reads whose counter update
+  // has arrived back).
+  std::int64_t freed_visible = 0;
+  for (Cycle t : freed_) {
+    if (t <= now) ++freed_visible;
+  }
+  const std::int64_t outstanding =
+      static_cast<std::int64_t>(data_.size()) +
+      (static_cast<std::int64_t>(freed_.size()) - freed_visible);
+  return capacity_ - outstanding;
+}
+
+bool CFifo::can_push(Cycle now) const { return space_visible(now) > 0; }
+
+void CFifo::push(Cycle now, Flit f) {
+  ACC_EXPECTS_MSG(can_push(now), "CFifo '" + name_ + "' push without space");
+  // Retire freed-space entries the writer has already observed; they are
+  // folded into the capacity from now on.
+  while (!freed_.empty() && freed_.front() <= now) freed_.pop_front();
+  data_.emplace_back(now + rlag_, f);
+  ++pushed_;
+  peak_ = std::max(peak_, static_cast<std::int64_t>(data_.size()));
+}
+
+std::int64_t CFifo::fill_visible(Cycle now) const {
+  std::int64_t n = 0;
+  for (const auto& [t, f] : data_) {
+    if (t <= now) ++n;
+    else break;  // arrival times are monotone
+  }
+  return n;
+}
+
+Flit CFifo::front(Cycle now) const {
+  ACC_EXPECTS_MSG(can_pop(now), "CFifo '" + name_ + "' front on empty view");
+  return data_.front().second;
+}
+
+Flit CFifo::pop(Cycle now) {
+  ACC_EXPECTS_MSG(can_pop(now), "CFifo '" + name_ + "' pop on empty view");
+  const Flit f = data_.front().second;
+  data_.pop_front();
+  freed_.push_back(now + wlag_);
+  ++popped_;
+  return f;
+}
+
+}  // namespace acc::sim

@@ -1,0 +1,70 @@
+// C-FIFO: the software FIFO synchronization scheme (Gangwal et al., ref
+// [12] of the paper) used between processor tiles and gateways.
+//
+// Data lives in the consumer's memory; the producer performs posted writes
+// of data and of its write counter, the consumer posts back its read
+// counter. Because the interconnect only supports posted writes, each
+// side's view of the other's counter LAGS by the network latency. This
+// class models exactly that: pushes become visible to the reader
+// `read_visibility_lag` cycles later, and freed space becomes visible to
+// the writer `write_visibility_lag` cycles later. Flow control is thus
+// conservative but never unsafe — the behaviour the paper's dataflow model
+// abstracts with the alpha0/alpha3 buffer edges.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/check.hpp"
+#include "sim/flit.hpp"
+#include "sim/ring.hpp"
+
+namespace acc::sim {
+
+class CFifo {
+ public:
+  CFifo(std::string name, std::int64_t capacity, Cycle read_visibility_lag = 4,
+        Cycle write_visibility_lag = 4);
+
+  /// Writer-side: is a slot free *as visible to the writer* at `now`?
+  [[nodiscard]] bool can_push(Cycle now) const;
+  void push(Cycle now, Flit f);
+  /// Slots the writer believes are free (conservative).
+  [[nodiscard]] std::int64_t space_visible(Cycle now) const;
+
+  /// Reader-side: samples the reader can see at `now`.
+  [[nodiscard]] std::int64_t fill_visible(Cycle now) const;
+  [[nodiscard]] bool can_pop(Cycle now) const { return fill_visible(now) > 0; }
+  [[nodiscard]] Flit front(Cycle now) const;
+  Flit pop(Cycle now);
+
+  /// Ground-truth occupancy (stats/assertions, not visible to either side).
+  [[nodiscard]] std::int64_t true_fill() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Lifetime counters (stats).
+  [[nodiscard]] std::int64_t total_pushed() const { return pushed_; }
+  [[nodiscard]] std::int64_t total_popped() const { return popped_; }
+  /// Peak ground-truth occupancy ever seen.
+  [[nodiscard]] std::int64_t peak_fill() const { return peak_; }
+
+ private:
+  std::string name_;
+  std::int64_t capacity_;
+  Cycle rlag_;
+  Cycle wlag_;
+
+  std::deque<std::pair<Cycle, Flit>> data_;  // (visible-to-reader-at, flit)
+  std::deque<Cycle> freed_;                  // space visible-to-writer-at
+  std::int64_t pushed_ = 0;
+  std::int64_t popped_ = 0;
+  std::int64_t peak_ = 0;
+  // Monotonic-time guard: visibility bookkeeping assumes non-decreasing now.
+  mutable Cycle last_now_ = 0;
+};
+
+}  // namespace acc::sim

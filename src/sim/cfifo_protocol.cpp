@@ -1,0 +1,55 @@
+#include "sim/cfifo_protocol.hpp"
+
+namespace acc::sim {
+
+CFifoProtocol::CFifoProtocol(std::string name, std::int64_t capacity,
+                             Cycle counter_latency)
+    : name_(std::move(name)), capacity_(capacity), latency_(counter_latency) {
+  ACC_EXPECTS(capacity >= 1);
+  ACC_EXPECTS(counter_latency >= 0);
+}
+
+void CFifoProtocol::deliver_updates(Cycle now) {
+  while (!write_updates_.empty() && write_updates_.front().first <= now) {
+    write_shadow_at_consumer_ = write_updates_.front().second;
+    write_updates_.pop_front();
+  }
+  while (!read_updates_.empty() && read_updates_.front().first <= now) {
+    read_shadow_at_producer_ = read_updates_.front().second;
+    read_updates_.pop_front();
+  }
+}
+
+std::int64_t CFifoProtocol::producer_space(Cycle now) {
+  deliver_updates(now);
+  return capacity_ - (write_count_ - read_shadow_at_producer_);
+}
+
+void CFifoProtocol::write(Cycle now, Flit value) {
+  ACC_EXPECTS_MSG(can_write(now),
+                  "C-FIFO '" + name_ + "' write without provable space");
+  // Posted data write lands in consumer memory; the counter update follows
+  // it on the in-order interconnect, so once the consumer's shadow shows
+  // this write, the data is guaranteed present.
+  data_.push_back(value);
+  ++write_count_;
+  write_updates_.emplace_back(now + latency_, write_count_);
+}
+
+std::int64_t CFifoProtocol::consumer_fill(Cycle now) {
+  deliver_updates(now);
+  return write_shadow_at_consumer_ - read_count_;
+}
+
+Flit CFifoProtocol::read(Cycle now) {
+  ACC_EXPECTS_MSG(can_read(now),
+                  "C-FIFO '" + name_ + "' read without provable data");
+  ACC_CHECK(!data_.empty());
+  const Flit v = data_.front();
+  data_.pop_front();
+  ++read_count_;
+  read_updates_.emplace_back(now + latency_, read_count_);
+  return v;
+}
+
+}  // namespace acc::sim

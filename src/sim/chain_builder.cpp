@@ -1,0 +1,63 @@
+#include "sim/chain_builder.hpp"
+
+namespace acc::sim {
+
+void GatewayChain::add_stream(
+    const StreamRoute& route,
+    std::vector<std::unique_ptr<accel::StreamKernel>> kernels) {
+  ACC_EXPECTS_MSG(kernels.size() == accels.size(),
+                  "one kernel per accelerator tile required");
+  for (std::size_t i = 0; i < accels.size(); ++i)
+    accels[i]->register_context(route.id, std::move(kernels[i]));
+  entry->add_stream(route);
+}
+
+GatewayChain build_gateway_chain(System& sys, const ChainConfig& cfg) {
+  ACC_EXPECTS(!cfg.accel_cycles.empty());
+  const auto n_accels = static_cast<std::int32_t>(cfg.accel_cycles.size());
+  ACC_EXPECTS_MSG(cfg.base_node >= 0 &&
+                      cfg.base_node + n_accels + 1 < sys.ring().data().nodes(),
+                  "ring too small for this chain");
+
+  GatewayChain chain;
+  const std::int32_t entry_node = cfg.base_node;
+  const std::int32_t exit_node = cfg.base_node + n_accels + 1;
+
+  // Accelerator tiles at base+1 .. base+n, tag = position within the chain.
+  for (std::int32_t i = 0; i < n_accels; ++i) {
+    chain.accels.push_back(&sys.add<AcceleratorTile>(
+        cfg.name + ".acc" + std::to_string(i), sys.ring(),
+        cfg.base_node + 1 + i, cfg.accel_cycles[static_cast<std::size_t>(i)],
+        cfg.ni_capacity));
+  }
+  auto& exit = sys.add<ExitGateway>(cfg.name + ".exit", sys.ring(), exit_node,
+                                    cfg.delta, cfg.ni_capacity,
+                                    cfg.exit_notify_lag);
+  auto& entry = sys.add<EntryGateway>(cfg.name + ".entry", sys.ring(),
+                                      entry_node, cfg.epsilon,
+                                      cfg.base_node + 1, /*first_tag=*/1,
+                                      cfg.ni_capacity);
+
+  // Wire upstream/downstream hop by hop (tags are informational; routing is
+  // by node).
+  for (std::int32_t i = 0; i < n_accels; ++i) {
+    AcceleratorTile* a = chain.accels[static_cast<std::size_t>(i)];
+    a->set_upstream(i == 0 ? entry_node : cfg.base_node + i,
+                    static_cast<std::uint32_t>(i + 1));
+    const std::int32_t down =
+        i + 1 < n_accels ? cfg.base_node + 2 + i : exit_node;
+    a->set_downstream(down, static_cast<std::uint32_t>(i + 2),
+                      cfg.ni_capacity);
+  }
+  exit.set_upstream(cfg.base_node + n_accels,
+                    static_cast<std::uint32_t>(n_accels + 1));
+  entry.set_chain(chain.accels);
+  entry.set_exit(&exit);
+  exit.set_entry(&entry);
+
+  chain.entry = &entry;
+  chain.exit = &exit;
+  return chain;
+}
+
+}  // namespace acc::sim

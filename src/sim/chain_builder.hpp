@@ -1,0 +1,52 @@
+// High-level assembly of one gateway-managed accelerator chain: entry
+// gateway, N accelerator tiles, exit gateway, fully wired for data and
+// credits on the dual ring. Collapses the node/tag bookkeeping that every
+// system (the PAL app, the examples) otherwise repeats.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/kernel.hpp"
+#include "sim/gateway.hpp"
+#include "sim/system.hpp"
+
+namespace acc::sim {
+
+struct ChainConfig {
+  std::string name = "chain";
+  /// First ring node of this chain; it occupies nodes
+  /// [base_node, base_node + accel_cycles.size() + 1].
+  std::int32_t base_node = 0;
+  /// Per-accelerator processing cost, in chain order.
+  std::vector<Cycle> accel_cycles{1};
+  Cycle epsilon = 15;
+  Cycle delta = 1;
+  std::int64_t ni_capacity = 2;
+  Cycle exit_notify_lag = 4;
+};
+
+/// Handles into an assembled chain.
+struct GatewayChain {
+  EntryGateway* entry = nullptr;
+  ExitGateway* exit = nullptr;
+  std::vector<AcceleratorTile*> accels;
+
+  /// Register a stream: its route plus one kernel per accelerator tile (in
+  /// chain order) holding the stream's per-context state.
+  void add_stream(const StreamRoute& route,
+                  std::vector<std::unique_ptr<accel::StreamKernel>> kernels);
+
+  /// Ring nodes consumed, for laying out further chains.
+  [[nodiscard]] std::int32_t nodes_used() const {
+    return static_cast<std::int32_t>(accels.size()) + 2;
+  }
+};
+
+/// Build the chain into `sys`. The System's ring must have at least
+/// base_node + accel_cycles.size() + 2 nodes.
+[[nodiscard]] GatewayChain build_gateway_chain(System& sys,
+                                               const ChainConfig& cfg);
+
+}  // namespace acc::sim

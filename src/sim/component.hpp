@@ -1,0 +1,16 @@
+// Base class for cycle-stepped simulator components.
+#pragma once
+
+#include "sim/ring.hpp"
+
+namespace acc::sim {
+
+class Component {
+ public:
+  virtual ~Component() = default;
+  /// Advance one clock cycle. Components are ticked in registration order,
+  /// then the interconnect advances (System::run).
+  virtual void tick(Cycle now) = 0;
+};
+
+}  // namespace acc::sim

@@ -1,0 +1,23 @@
+#include "sim/config_bus.hpp"
+
+namespace acc::sim {
+
+Cycle context_switch_cost(const ConfigBusSpec& bus,
+                          std::span<AcceleratorTile* const> chain) {
+  Cycle total = bus.setup_cycles;
+  for (const AcceleratorTile* a : chain) {
+    ACC_EXPECTS(a != nullptr);
+    total += 2 * static_cast<Cycle>(a->context_words()) * bus.cycles_per_word;
+  }
+  return total;
+}
+
+Cycle context_switch_cost(const ConfigBusSpec& bus,
+                          std::span<const std::size_t> words) {
+  Cycle total = bus.setup_cycles;
+  for (std::size_t w : words)
+    total += 2 * static_cast<Cycle>(w) * bus.cycles_per_word;
+  return total;
+}
+
+}  // namespace acc::sim

@@ -1,0 +1,38 @@
+// Accelerator configuration bus cost model.
+//
+// The paper charges a flat R_s = 4100 cycles per context switch and notes
+// that switching is done "by reading and restoring state from software" —
+// and that faster techniques are future work. This model derives the switch
+// cost from first principles instead: per managed accelerator, the bus must
+// SAVE the outgoing context and RESTORE the incoming one, word by word,
+// plus a fixed per-switch setup. It lets the analyses answer "what if the
+// state were moved by a hardware DMA at 1 word/cycle?" (see
+// bench_ablation_reconfig).
+#pragma once
+
+#include <span>
+
+#include "sim/accel_tile.hpp"
+
+namespace acc::sim {
+
+struct ConfigBusSpec {
+  /// Fixed software/bus overhead per context switch (interrupt handling,
+  /// descriptor setup).
+  Cycle setup_cycles = 100;
+  /// Bus cycles per 32-bit state word moved.
+  Cycle cycles_per_word = 2;
+};
+
+/// Cost of one full context switch over `chain`: for every accelerator,
+/// save the active context and restore the next one (2 transfers of its
+/// state footprint).
+[[nodiscard]] Cycle context_switch_cost(
+    const ConfigBusSpec& bus, std::span<AcceleratorTile* const> chain);
+
+/// Same, from explicit per-accelerator state word counts (analysis-time use
+/// when no simulator tiles exist yet).
+[[nodiscard]] Cycle context_switch_cost(const ConfigBusSpec& bus,
+                                        std::span<const std::size_t> words);
+
+}  // namespace acc::sim

@@ -1,0 +1,28 @@
+// Flits: the unit of payload moved over the dual-ring interconnect.
+//
+// One complex Q2.16 sample packs into a single 64-bit flit (two 32-bit
+// words), matching the paper's streaming network where accelerators consume
+// and produce one data token per transfer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/fixed_point.hpp"
+
+namespace acc::sim {
+
+using Flit = std::uint64_t;
+
+[[nodiscard]] constexpr Flit pack_sample(CQ16 s) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.re.raw()))
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.im.raw()));
+}
+
+[[nodiscard]] constexpr CQ16 unpack_sample(Flit f) {
+  return CQ16{
+      Q16::from_raw(static_cast<std::int32_t>(static_cast<std::uint32_t>(f >> 32))),
+      Q16::from_raw(static_cast<std::int32_t>(static_cast<std::uint32_t>(f)))};
+}
+
+}  // namespace acc::sim

@@ -1,0 +1,247 @@
+#include "sim/gateway.hpp"
+
+namespace acc::sim {
+
+EntryGateway::EntryGateway(std::string name, DualRing& ring, std::int32_t node,
+                           Cycle epsilon, std::int32_t first_node,
+                           std::uint32_t first_tag, std::int64_t first_credits)
+    : name_(std::move(name)),
+      ring_(ring),
+      node_(node),
+      epsilon_(epsilon),
+      first_node_(first_node),
+      first_tag_(first_tag),
+      credits_(first_credits) {
+  ACC_EXPECTS(epsilon >= 1);
+  ACC_EXPECTS(first_credits >= 1);
+}
+
+void EntryGateway::set_chain(std::vector<AcceleratorTile*> chain) {
+  ACC_EXPECTS(!chain.empty());
+  chain_ = std::move(chain);
+}
+
+void EntryGateway::add_stream(const StreamRoute& route) {
+  ACC_EXPECTS(route.input != nullptr && route.output != nullptr);
+  ACC_EXPECTS(route.eta >= 1 && route.out_per_block >= 1);
+  ACC_EXPECTS(route.reconfig >= 0);
+  ACC_EXPECTS_MSG(route.input->capacity() >= route.eta,
+                  "input C-FIFO cannot hold one block (alpha0 >= eta)");
+  ACC_EXPECTS_MSG(route.output->capacity() >= route.out_per_block,
+                  "output C-FIFO cannot hold one block of output");
+  streams_.push_back(route);
+  completions_.emplace_back();
+}
+
+const std::vector<Cycle>& EntryGateway::block_completions(StreamId id) const {
+  for (std::size_t i = 0; i < streams_.size(); ++i)
+    if (streams_[i].id == id) return completions_[i];
+  throw precondition_error("unknown stream id");
+}
+
+void EntryGateway::record_block_completion(StreamId id, Cycle when) {
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].id == id) {
+      completions_[i].push_back(when);
+      return;
+    }
+  }
+  throw precondition_error("unknown stream id");
+}
+
+void EntryGateway::on_pipeline_idle() { pipeline_idle_ = true; }
+
+bool EntryGateway::admissible(const StreamRoute& r, Cycle now) const {
+  return r.input->fill_visible(now) >= r.eta &&
+         r.output->space_visible(now) >= r.out_per_block;
+}
+
+void EntryGateway::tick(Cycle now) {
+  // Collect credits returned by the first accelerator's NI.
+  for (const RingMsg& m : ring_.credit().drain(node_)) {
+    (void)m;
+    ++credits_;
+  }
+
+  switch (state_) {
+    case State::kIdle: {
+      if (streams_.empty()) return;
+      if (!pipeline_idle_) {
+        ++stats_.wait_cycles;
+        return;
+      }
+      // Round-robin scan: take the first admissible stream, starting at
+      // rr_next_. RR lets unrelated applications share the chain fairly.
+      bool found = false;
+      for (std::size_t k = 0; k < streams_.size(); ++k) {
+        const std::size_t idx = (rr_next_ + k) % streams_.size();
+        if (admissible(streams_[idx], now)) {
+          active_ = idx;
+          rr_next_ = (idx + 1) % streams_.size();
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ++stats_.wait_cycles;
+        return;
+      }
+      const StreamRoute& r = streams_[active_];
+      // Context switch unless this stream's contexts are already loaded
+      // (the paper's R_s is charged per switch; re-admitting the same
+      // stream back-to-back skips the bus transfer).
+      if (trace_ != nullptr) trace_->record(now, name_, "admit", r.id);
+      if (loaded_context_ && *loaded_context_ == r.id) {
+        state_ = State::kStreaming;
+        remaining_ = r.eta;
+        exit_->arm(r.id, r.output, r.out_per_block);
+        pipeline_idle_ = false;
+      } else {
+        state_ = State::kReconfig;
+        busy_until_ = now + r.reconfig;
+        ++stats_.reconfig_cycles;  // this cycle counts as reconfig work
+        if (trace_ != nullptr)
+          trace_->record(now, name_, "reconfig.start", r.id);
+      }
+      return;
+    }
+    case State::kReconfig: {
+      if (now < busy_until_) {
+        ++stats_.reconfig_cycles;
+        return;
+      }
+      // Bus transfer done: swap every accelerator to the new stream.
+      const StreamRoute& r = streams_[active_];
+      for (AcceleratorTile* a : chain_) a->swap_context(r.id);
+      loaded_context_ = r.id;
+      if (trace_ != nullptr) trace_->record(now, name_, "reconfig.done", r.id);
+      state_ = State::kStreaming;
+      remaining_ = r.eta;
+      exit_->arm(r.id, r.output, r.out_per_block);
+      pipeline_idle_ = false;
+      return;
+    }
+    case State::kStreaming: {
+      const StreamRoute& r = streams_[active_];
+      if (sample_in_flight_) {
+        ++stats_.data_cycles;
+        if (now < busy_until_) return;
+        // DMA cycle done; hand the flit to the network (needs a credit).
+        if (credits_ <= 0) return;  // stall on flow control
+        RingMsg m;
+        m.dst = first_node_;
+        m.tag = first_tag_;
+        m.payload = r.input->front(now);
+        if (!ring_.data().try_inject(node_, m)) return;
+        (void)r.input->pop(now);
+        --credits_;
+        sample_in_flight_ = false;
+        ++stats_.samples_forwarded;
+        if (--remaining_ == 0) {
+          state_ = State::kDraining;
+          return;
+        }
+      }
+      if (!sample_in_flight_ && remaining_ > 0) {
+        // Admission guaranteed a full block, but the C-FIFO's read view may
+        // trail by the network lag; wait for visibility.
+        if (r.input->fill_visible(now) == 0) {
+          ++stats_.wait_cycles;
+          return;
+        }
+        sample_in_flight_ = true;
+        busy_until_ = now + epsilon_;
+        ++stats_.data_cycles;
+      }
+      return;
+    }
+    case State::kDraining: {
+      // Waiting for the exit-gateway's pipeline-idle notification.
+      ++stats_.wait_cycles;
+      if (pipeline_idle_) {
+        ++stats_.blocks;
+        state_ = State::kIdle;
+        if (trace_ != nullptr)
+          trace_->record(now, name_, "block.done", streams_[active_].id);
+      }
+      return;
+    }
+  }
+}
+
+ExitGateway::ExitGateway(std::string name, DualRing& ring, std::int32_t node,
+                         Cycle delta, std::int64_t ni_capacity,
+                         Cycle notify_lag)
+    : name_(std::move(name)),
+      ring_(ring),
+      node_(node),
+      delta_(delta),
+      ni_capacity_(ni_capacity),
+      notify_lag_(notify_lag) {
+  ACC_EXPECTS(delta >= 1);
+  ACC_EXPECTS(ni_capacity >= 1);
+  ACC_EXPECTS(notify_lag >= 0);
+}
+
+void ExitGateway::set_upstream(std::int32_t node, std::uint32_t tag) {
+  upstream_node_ = node;
+  upstream_tag_ = tag;
+}
+
+void ExitGateway::arm(StreamId stream, CFifo* output, std::int64_t expected) {
+  ACC_EXPECTS_MSG(expected_ == 0, "exit-gateway armed while a block is active");
+  ACC_EXPECTS(output != nullptr && expected >= 1);
+  stream_ = stream;
+  output_ = output;
+  expected_ = expected;
+}
+
+void ExitGateway::tick(Cycle now) {
+  for (const RingMsg& m : ring_.data().drain(node_)) {
+    ACC_CHECK_MSG(static_cast<std::int64_t>(input_.size()) < ni_capacity_,
+                  name_ + ": NI input overflow (credit protocol violated)");
+    input_.push_back(m.payload);
+  }
+  while (pending_credit_returns_ > 0 && upstream_node_ >= 0) {
+    RingMsg credit;
+    credit.dst = upstream_node_;
+    credit.tag = upstream_tag_;
+    if (!ring_.credit().try_inject(node_, credit)) break;
+    --pending_credit_returns_;
+  }
+
+  // Deliver the delayed pipeline-idle notification.
+  if (notify_at_ && now >= *notify_at_) {
+    notify_at_.reset();
+    ACC_CHECK(entry_ != nullptr);
+    entry_->record_block_completion(stream_, now);
+    entry_->on_pipeline_idle();
+  }
+
+  if (busy_ && now >= busy_until_) {
+    busy_ = false;
+    // Write completes into the consumer's C-FIFO (space was reserved at
+    // admission, so this cannot overflow).
+    ACC_CHECK_MSG(output_ != nullptr && output_->true_fill() <
+                      output_->capacity(),
+                  name_ + ": output C-FIFO overflow despite reservation");
+    output_->push(now, current_);
+    ++delivered_;
+    ACC_CHECK_MSG(expected_ > 0, name_ + ": sample arrived while disarmed");
+    if (--expected_ == 0) {
+      notify_at_ = now + notify_lag_;
+      if (trace_ != nullptr)
+        trace_->record(now, name_, "block.delivered", stream_);
+    }
+  }
+
+  if (!busy_ && !input_.empty()) {
+    current_ = input_.front();
+    input_.pop_front();
+    ++pending_credit_returns_;
+    busy_ = true;
+    busy_until_ = now + delta_;
+  }
+}
+
+}  // namespace acc::sim

@@ -1,0 +1,180 @@
+// Entry- and exit-gateway pair: the paper's core architectural contribution
+// (its Fig. 4), responsible for multiplexing data streams over a chain of
+// shared accelerator tiles under real-time constraints.
+//
+// The ENTRY-gateway admits one block of eta_s samples of stream s only when
+//   1. the exit-gateway has signalled that the previous block fully left
+//      the pipeline (context switches on a busy pipeline would corrupt
+//      accelerator state),
+//   2. at least eta_s samples are available in stream s's input C-FIFO, and
+//   3. the consumer's output buffer has space for the whole block's output
+//      (without this check no conservative CSDF model exists — paper §V-G).
+// It then drives the configuration bus to save/restore accelerator contexts
+// (R_s cycles) and DMAs the block into the chain at epsilon cycles/sample
+// under hardware credit flow control.
+//
+// The EXIT-gateway converts the chain's output back to software flow
+// control: it writes each sample into the stream's output C-FIFO (delta
+// cycles/sample), and notifies the entry-gateway when the block's last
+// sample has passed — the "pipeline idle" token of the CSDF model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/accel_tile.hpp"
+#include "sim/cfifo.hpp"
+#include "sim/component.hpp"
+#include "sim/trace.hpp"
+
+namespace acc::sim {
+
+class ExitGateway;
+
+/// Static per-stream multiplexing configuration.
+struct StreamRoute {
+  StreamId id = 0;
+  std::string name;
+  /// Block size (input samples per turn).
+  std::int64_t eta = 1;
+  /// Output samples the chain produces per block (eta / total decimation;
+  /// eta must be chosen so this is exact — enforced at registration).
+  std::int64_t out_per_block = 1;
+  /// Input C-FIFO (filled by the producer tile) — owned elsewhere.
+  CFifo* input = nullptr;
+  /// Output C-FIFO (drained by the consumer tile) — owned elsewhere.
+  CFifo* output = nullptr;
+  /// Context-switch cost for this stream (R_s cycles).
+  Cycle reconfig = 4100;
+};
+
+struct GatewayStats {
+  std::int64_t blocks = 0;
+  std::int64_t samples_forwarded = 0;
+  Cycle data_cycles = 0;      // cycles spent DMAing samples
+  Cycle reconfig_cycles = 0;  // cycles spent on the configuration bus
+  Cycle wait_cycles = 0;      // admissible-but-draining or starved cycles
+};
+
+class EntryGateway final : public Component {
+ public:
+  /// `epsilon`: per-sample forwarding cost. The gateway injects into the
+  /// chain's first accelerator at `first_node` using `first_tag` and that
+  /// NI's depth as its initial credit budget.
+  EntryGateway(std::string name, DualRing& ring, std::int32_t node,
+               Cycle epsilon, std::int32_t first_node, std::uint32_t first_tag,
+               std::int64_t first_credits);
+
+  /// The accelerator chain this gateway manages (context-switch targets),
+  /// in chain order.
+  void set_chain(std::vector<AcceleratorTile*> chain);
+  void set_exit(ExitGateway* exit_gw) { exit_ = exit_gw; }
+
+  /// Register a multiplexed stream (round-robin order = registration
+  /// order). Each accelerator in the chain must already hold a context for
+  /// route.id.
+  void add_stream(const StreamRoute& route);
+
+  void tick(Cycle now) override;
+
+  /// Opt-in event tracing (admissions, reconfigurations, completions).
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+
+  /// Called by the exit-gateway (via its notification latency) when the
+  /// last output sample of the active block has been delivered.
+  void on_pipeline_idle();
+
+  [[nodiscard]] const GatewayStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<StreamRoute>& streams() const {
+    return streams_;
+  }
+  /// Completion cycle of the most recent block per stream (empty until the
+  /// first block finishes). For latency/throughput measurements.
+  [[nodiscard]] const std::vector<Cycle>& block_completions(StreamId id) const;
+
+  void record_block_completion(StreamId id, Cycle when);
+
+ private:
+  enum class State { kIdle, kReconfig, kStreaming, kDraining };
+
+  [[nodiscard]] bool admissible(const StreamRoute& r, Cycle now) const;
+
+  std::string name_;
+  DualRing& ring_;
+  std::int32_t node_;
+  Cycle epsilon_;
+  std::int32_t first_node_;
+  std::uint32_t first_tag_;
+  std::int64_t credits_;
+
+  std::vector<AcceleratorTile*> chain_;
+  ExitGateway* exit_ = nullptr;
+  std::vector<StreamRoute> streams_;
+  std::vector<std::vector<Cycle>> completions_;
+
+  State state_ = State::kIdle;
+  std::size_t rr_next_ = 0;       // next stream to consider
+  std::size_t active_ = 0;        // index into streams_ while not idle
+  std::optional<StreamId> loaded_context_;  // context currently in the accels
+  Cycle busy_until_ = 0;
+  std::int64_t remaining_ = 0;    // samples left to forward in this block
+  bool sample_in_flight_ = false; // DMA busy on one sample
+  bool pipeline_idle_ = true;
+  TraceLog* trace_ = nullptr;
+
+  GatewayStats stats_;
+};
+
+class ExitGateway final : public Component {
+ public:
+  /// `delta`: per-sample cost of the hardware DMA converting the stream
+  /// back to software flow control. `notify_lag`: cycles for the
+  /// pipeline-idle notification to reach the entry-gateway.
+  ExitGateway(std::string name, DualRing& ring, std::int32_t node, Cycle delta,
+              std::int64_t ni_capacity = 2, Cycle notify_lag = 4);
+
+  void set_entry(EntryGateway* entry) { entry_ = entry; }
+  void set_trace(TraceLog* trace) { trace_ = trace; }
+  /// Upstream producer (last accelerator of the chain) for credit returns.
+  void set_upstream(std::int32_t node, std::uint32_t tag);
+
+  /// Entry-gateway arms the exit for the active block: stream and expected
+  /// output count.
+  void arm(StreamId stream, CFifo* output, std::int64_t expected);
+
+  void tick(Cycle now) override;
+
+  [[nodiscard]] std::int32_t node() const { return node_; }
+  [[nodiscard]] std::int64_t ni_capacity() const { return ni_capacity_; }
+  [[nodiscard]] std::int64_t samples_delivered() const { return delivered_; }
+  [[nodiscard]] bool idle() const { return expected_ == 0; }
+
+ private:
+  std::string name_;
+  DualRing& ring_;
+  std::int32_t node_;
+  Cycle delta_;
+  std::int64_t ni_capacity_;
+  Cycle notify_lag_;
+
+  EntryGateway* entry_ = nullptr;
+  std::int32_t upstream_node_ = -1;
+  std::uint32_t upstream_tag_ = 0;
+
+  std::deque<Flit> input_;
+  std::int64_t pending_credit_returns_ = 0;
+  bool busy_ = false;
+  Cycle busy_until_ = 0;
+  Flit current_ = 0;
+
+  StreamId stream_ = -1;
+  TraceLog* trace_ = nullptr;
+  CFifo* output_ = nullptr;
+  std::int64_t expected_ = 0;
+  std::int64_t delivered_ = 0;
+  std::optional<Cycle> notify_at_;
+};
+
+}  // namespace acc::sim

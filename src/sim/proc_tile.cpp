@@ -1,0 +1,139 @@
+#include "sim/proc_tile.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace acc::sim {
+
+ProcessorTile::ProcessorTile(std::string name, Cycle replenish_period,
+                             SchedulerPolicy policy)
+    : name_(std::move(name)), period_(replenish_period), policy_(policy) {
+  ACC_EXPECTS(replenish_period >= 1);
+}
+
+void ProcessorTile::add_task(Task t) {
+  ACC_EXPECTS(t.invoke != nullptr);
+  ACC_EXPECTS(t.budget >= 1);
+  budget_left_.push_back(t.budget);
+  invocations_.push_back(0);
+  tasks_.push_back(std::move(t));
+}
+
+std::int64_t ProcessorTile::invocations(std::size_t task) const {
+  ACC_EXPECTS(task < invocations_.size());
+  return invocations_[task];
+}
+
+void ProcessorTile::tick(Cycle now) {
+  if (tasks_.empty()) return;
+  if (now >= next_replenish_) {
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+      budget_left_[i] = tasks_[i].budget;
+    next_replenish_ = now + period_;
+  }
+  if (now < busy_until_) {
+    ++busy_cycles_;
+    return;
+  }
+  // Candidate order: round-robin rotation, or strict priority (stable by
+  // registration order within a priority level). Only tasks still holding
+  // budget are eligible — budget exhaustion suspends a task until the next
+  // replenishment, giving the temporal isolation the dataflow analysis of
+  // software tasks relies on (ref [18]).
+  std::vector<std::size_t> order;
+  order.reserve(tasks_.size());
+  if (policy_ == SchedulerPolicy::kPriorityBudget) {
+    for (std::size_t k = 0; k < tasks_.size(); ++k) order.push_back(k);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return tasks_[a].priority > tasks_[b].priority;
+                     });
+  } else {
+    for (std::size_t k = 0; k < tasks_.size(); ++k)
+      order.push_back((current_ + k) % tasks_.size());
+  }
+  for (const std::size_t idx : order) {
+    if (budget_left_[idx] <= 0) continue;
+    const Cycle cost = tasks_[idx].invoke(now);
+    if (cost > 0) {
+      budget_left_[idx] -= cost;
+      busy_until_ = now + cost;
+      ++busy_cycles_;
+      ++invocations_[idx];
+      current_ = (idx + 1) % tasks_.size();
+      return;
+    }
+  }
+}
+
+SourceTile::SourceTile(std::string name, CFifo& out, std::vector<Flit> samples,
+                       Cycle period, Cycle start_at)
+    : name_(std::move(name)),
+      out_(out),
+      samples_(std::move(samples)),
+      period_(period),
+      start_at_(start_at),
+      next_emit_(start_at) {
+  ACC_EXPECTS(period >= 1);
+}
+
+void SourceTile::set_jitter(Cycle max_jitter, std::uint64_t seed) {
+  ACC_EXPECTS(max_jitter >= 0);
+  max_jitter_ = max_jitter;
+  jitter_state_ = seed;
+  // Re-derive the first emission time under jitter.
+  if (next_ == 0) {
+    acc::SplitMix64 rng(jitter_state_);
+    next_emit_ = start_at_ + rng.uniform(0, max_jitter_);
+    jitter_state_ = rng.next();
+  }
+}
+
+void SourceTile::tick(Cycle now) {
+  if (next_ >= samples_.size() || now < next_emit_) return;
+  // Hard real-time: the sample leaves the antenna now; it either fits in
+  // the FIFO or it is gone.
+  if (out_.can_push(now)) {
+    out_.push(now, samples_[next_]);
+    ++emitted_;
+  } else {
+    ++dropped_;
+  }
+  ++next_;
+  // Next release: nominal grid plus bounded jitter (never cumulative).
+  next_emit_ = nominal_emit_time(next_);
+  if (max_jitter_ > 0) {
+    acc::SplitMix64 rng(jitter_state_);
+    next_emit_ += rng.uniform(0, max_jitter_);
+    jitter_state_ = rng.next();
+  }
+}
+
+SinkTile::SinkTile(std::string name, CFifo& in, Cycle period,
+                   std::int64_t prefill)
+    : name_(std::move(name)), in_(in), period_(period), prefill_(prefill) {
+  ACC_EXPECTS(period >= 1);
+  ACC_EXPECTS(prefill >= 1);
+}
+
+void SinkTile::tick(Cycle now) {
+  if (!started_) {
+    if (in_.fill_visible(now) >= prefill_) {
+      started_ = true;
+      next_due_ = now;
+    } else {
+      return;
+    }
+  }
+  if (now < next_due_) return;
+  if (in_.can_pop(now)) {
+    received_.push_back(in_.pop(now));
+    timestamps_.push_back(now);
+  } else {
+    ++underruns_;  // DAC starved: audible glitch
+  }
+  next_due_ += period_;
+}
+
+}  // namespace acc::sim

@@ -1,0 +1,142 @@
+// Processor, source and sink tiles.
+//
+// ProcessorTile models a MicroBlaze-style core running tasks under the
+// real-time budget scheduler of the paper (ref [18]): each task owns a
+// budget of cycles per replenishment period; the scheduler serves ready
+// tasks round-robin while they hold budget. Tasks are C++ callables over
+// C-FIFOs, costed in cycles per invocation.
+//
+// SourceTile models the radio front-end (the paper's Epiq FMC-1RX): a
+// hard real-time producer emitting one prepared sample every `period`
+// cycles into a C-FIFO. If the FIFO has no visible space the sample is
+// LOST and counted — the real-time verdict of the whole system is
+// "zero drops at the source and no starvation at the sink".
+//
+// SinkTile models a hard real-time consumer (audio DAC): from the first
+// sample onward it pops one sample every `period` cycles; a miss counts as
+// an underrun.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/cfifo.hpp"
+#include "sim/component.hpp"
+
+namespace acc::sim {
+
+/// One schedulable task on a processor tile.
+struct Task {
+  std::string name;
+  /// Attempt one invocation at `now`; return the cycle cost consumed, or 0
+  /// if the task had no work (blocked on data/space).
+  std::function<Cycle(Cycle now)> invoke;
+  /// Budget (cycles) granted every replenishment period.
+  Cycle budget = 100;
+  /// Priority (larger = more urgent); only used by kPriorityBudget.
+  std::int32_t priority = 0;
+};
+
+/// Scheduling policy of the paper's budget scheduler (ref [18]): both
+/// enforce per-task budgets per replenishment period (temporal isolation —
+/// the property that makes tasks analyzable with conservative dataflow
+/// models); they differ in how ready tasks with remaining budget are
+/// ordered.
+enum class SchedulerPolicy {
+  kRoundRobin,      // fair rotation
+  kPriorityBudget,  // strict priority among tasks holding budget
+};
+
+class ProcessorTile final : public Component {
+ public:
+  ProcessorTile(std::string name, Cycle replenish_period,
+                SchedulerPolicy policy = SchedulerPolicy::kRoundRobin);
+
+  void add_task(Task t);
+  void tick(Cycle now) override;
+
+  [[nodiscard]] Cycle busy_cycles() const { return busy_cycles_; }
+  [[nodiscard]] std::int64_t invocations(std::size_t task) const;
+
+ private:
+  std::string name_;
+  Cycle period_;
+  SchedulerPolicy policy_;
+  std::vector<Task> tasks_;
+  std::vector<Cycle> budget_left_;
+  std::vector<std::int64_t> invocations_;
+  std::size_t current_ = 0;
+  Cycle busy_until_ = 0;
+  Cycle next_replenish_ = 0;
+  Cycle busy_cycles_ = 0;
+};
+
+class SourceTile final : public Component {
+ public:
+  /// Emits samples[i] at cycle start_at + i*period into `out`.
+  SourceTile(std::string name, CFifo& out, std::vector<Flit> samples,
+             Cycle period, Cycle start_at = 0);
+
+  /// Bounded release jitter: sample i is emitted at its nominal time plus a
+  /// deterministic pseudo-random delay in [0, max_jitter]. Models a front
+  /// end whose DMA batches irregularly while the long-run rate stays 1 per
+  /// `period` (delays never accumulate).
+  void set_jitter(Cycle max_jitter, std::uint64_t seed = 1);
+
+  void tick(Cycle now) override;
+
+  [[nodiscard]] std::int64_t emitted() const { return emitted_; }
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+  [[nodiscard]] bool exhausted() const {
+    return next_ >= samples_.size();
+  }
+  /// Nominal (jitter-free) emission time of sample i.
+  [[nodiscard]] Cycle nominal_emit_time(std::size_t i) const {
+    return start_at_ + static_cast<Cycle>(i) * period_;
+  }
+
+ private:
+  std::string name_;
+  CFifo& out_;
+  std::vector<Flit> samples_;
+  Cycle period_;
+  Cycle start_at_;
+  Cycle next_emit_;
+  std::size_t next_ = 0;
+  std::int64_t emitted_ = 0;
+  std::int64_t dropped_ = 0;
+  Cycle max_jitter_ = 0;
+  std::uint64_t jitter_state_ = 0;
+};
+
+class SinkTile final : public Component {
+ public:
+  /// Pops one sample per `period` cycles once the first sample shows up;
+  /// `prefill` samples must be visible before consumption starts (DAC
+  /// start-of-stream buffering).
+  SinkTile(std::string name, CFifo& in, Cycle period, std::int64_t prefill = 1);
+
+  void tick(Cycle now) override;
+
+  [[nodiscard]] const std::vector<Flit>& received() const { return received_; }
+  [[nodiscard]] const std::vector<Cycle>& timestamps() const {
+    return timestamps_;
+  }
+  [[nodiscard]] std::int64_t underruns() const { return underruns_; }
+  [[nodiscard]] bool started() const { return started_; }
+
+ private:
+  std::string name_;
+  CFifo& in_;
+  Cycle period_;
+  std::int64_t prefill_;
+  bool started_ = false;
+  Cycle next_due_ = 0;
+  std::vector<Flit> received_;
+  std::vector<Cycle> timestamps_;
+  std::int64_t underruns_ = 0;
+};
+
+}  // namespace acc::sim

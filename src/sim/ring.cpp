@@ -1,0 +1,57 @@
+#include "sim/ring.hpp"
+
+namespace acc::sim {
+
+Ring::Ring(std::int32_t nodes, bool clockwise)
+    : slots_(static_cast<std::size_t>(nodes)),
+      inject_(static_cast<std::size_t>(nodes)),
+      ejected_(static_cast<std::size_t>(nodes)),
+      clockwise_(clockwise) {
+  ACC_EXPECTS(nodes >= 2);
+}
+
+bool Ring::try_inject(std::int32_t node, const RingMsg& msg) {
+  ACC_EXPECTS(node >= 0 && node < nodes());
+  ACC_EXPECTS(msg.dst >= 0 && msg.dst < nodes());
+  auto& q = inject_[node];
+  if (q.size() >= kInjectQueueDepth) return false;
+  q.push_back(msg);
+  return true;
+}
+
+std::vector<RingMsg> Ring::drain(std::int32_t node) {
+  ACC_EXPECTS(node >= 0 && node < nodes());
+  std::vector<RingMsg> out;
+  out.swap(ejected_[node]);
+  return out;
+}
+
+void Ring::tick() {
+  const auto n = static_cast<std::int32_t>(slots_.size());
+  // Rotate slots one hop: slot at node i moves to node i+1 (clockwise) or
+  // i-1 (counter-clockwise).
+  std::vector<Slot> next(slots_.size());
+  for (std::int32_t i = 0; i < n; ++i) {
+    const std::int32_t to = clockwise_ ? (i + 1) % n : (i - 1 + n) % n;
+    next[to] = slots_[i];
+  }
+  slots_ = std::move(next);
+
+  // At each node: eject a slot addressed to it, then fill a free slot from
+  // the local injection queue.
+  for (std::int32_t i = 0; i < n; ++i) {
+    Slot& s = slots_[i];
+    if (s.occupied && s.msg.dst == i) {
+      ejected_[i].push_back(s.msg);
+      s.occupied = false;
+      ++delivered_;
+    }
+    if (!s.occupied && !inject_[i].empty()) {
+      s.msg = inject_[i].front();
+      inject_[i].pop_front();
+      s.occupied = true;
+    }
+  }
+}
+
+}  // namespace acc::sim

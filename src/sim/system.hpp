@@ -1,0 +1,69 @@
+// System: owns the interconnect, the tiles and the C-FIFOs, and steps the
+// whole MPSoC cycle by cycle.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/cfifo.hpp"
+#include "sim/component.hpp"
+#include "sim/ring.hpp"
+
+namespace acc::sim {
+
+class System {
+ public:
+  explicit System(std::int32_t ring_nodes) : ring_(ring_nodes) {}
+
+  [[nodiscard]] DualRing& ring() { return ring_; }
+
+  /// Construct and own a component; ticked in creation order.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto p = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *p;
+    components_.push_back(std::move(p));
+    return ref;
+  }
+
+  /// Construct and own a software FIFO.
+  template <typename... Args>
+  CFifo& add_fifo(Args&&... args) {
+    fifos_.push_back(std::make_unique<CFifo>(std::forward<Args>(args)...));
+    return *fifos_.back();
+  }
+
+  /// Run for `cycles` clock cycles.
+  void run(Cycle cycles) {
+    const Cycle end = now_ + cycles;
+    for (; now_ < end; ++now_) {
+      for (auto& c : components_) c->tick(now_);
+      ring_.tick();
+    }
+  }
+
+  /// Run until `pred(now)` holds or `max_cycles` elapse; returns true if
+  /// the predicate fired.
+  template <typename Pred>
+  bool run_until(Pred&& pred, Cycle max_cycles) {
+    const Cycle end = now_ + max_cycles;
+    while (now_ < end) {
+      if (pred(now_)) return true;
+      for (auto& c : components_) c->tick(now_);
+      ring_.tick();
+      ++now_;
+    }
+    return pred(now_);
+  }
+
+  [[nodiscard]] Cycle now() const { return now_; }
+
+ private:
+  DualRing ring_;
+  std::vector<std::unique_ptr<Component>> components_;
+  std::vector<std::unique_ptr<CFifo>> fifos_;
+  Cycle now_ = 0;
+};
+
+}  // namespace acc::sim

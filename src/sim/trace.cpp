@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace acc::sim {
+
+std::vector<TraceEvent> TraceLog::from(std::string_view source) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_)
+    if (e.source == source) out.push_back(e);
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::of(std::string_view event) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_)
+    if (e.event == event) out.push_back(e);
+  return out;
+}
+
+std::string TraceLog::to_csv() const {
+  std::ostringstream os;
+  os << "cycle,source,event,value\n";
+  for (const TraceEvent& e : events_)
+    os << e.cycle << ',' << e.source << ',' << e.event << ',' << e.value
+       << '\n';
+  return os.str();
+}
+
+}  // namespace acc::sim

@@ -1,0 +1,59 @@
+// Event tracing for the MPSoC simulator: gateways and accelerator tiles
+// record state transitions (admissions, reconfigurations, block
+// completions, context switches) so a run can be audited or visualized.
+// Opt-in: components trace only when given a TraceLog.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/ring.hpp"
+
+namespace acc::sim {
+
+struct TraceEvent {
+  Cycle cycle = 0;
+  std::string source;  // component name
+  std::string event;   // e.g. "admit", "reconfig.start", "block.done"
+  std::int64_t value = 0;  // event-specific payload (stream id, count, ...)
+};
+
+class TraceLog {
+ public:
+  /// Cap the log to avoid unbounded growth on long runs; older events are
+  /// kept (the head of a run usually matters most for debugging).
+  explicit TraceLog(std::size_t max_events = 1 << 20)
+      : max_events_(max_events) {}
+
+  void record(Cycle cycle, std::string_view source, std::string_view event,
+              std::int64_t value = 0) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(TraceEvent{cycle, std::string(source),
+                                 std::string(event), value});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  /// Events from one source, in order.
+  [[nodiscard]] std::vector<TraceEvent> from(std::string_view source) const;
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<TraceEvent> of(std::string_view event) const;
+
+  /// "cycle,source,event,value" lines with a header row.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::size_t max_events_;
+  std::size_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace acc::sim

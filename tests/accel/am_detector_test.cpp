@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/mixer.hpp"
+#include "common/rng.hpp"
+
+namespace acc::accel {
+namespace {
+
+TEST(AmDetector, RecoversEnvelopeOfAmSignal) {
+  // AM at baseband: x[n] = (1 + m*a[n]) * e^{j*phi} with slow a[n].
+  // Slow DC tracker (cutoff ~2^-10) so the 0.003 cycles/sample modulation
+  // passes through while the carrier's DC is removed.
+  AmDetector det(/*dc_shift=*/10);
+  std::vector<CQ16> out;
+  const double m = 0.4;
+  const double fa = 0.003;  // modulation
+  const int n = 16384;
+  for (int i = 0; i < n; ++i) {
+    const double a = std::sin(2.0 * M_PI * fa * i);
+    const double env = 0.6 * (1.0 + m * a);
+    const double phi = 0.9;  // arbitrary constant phase
+    det.push(CQ16{Q16::from_double(env * std::cos(phi)),
+                  Q16::from_double(env * std::sin(phi))},
+             out);
+  }
+  // After the DC tracker settles, output ~ 0.6*m*a[n] (high-passed).
+  double peak = 0.0;
+  double mean = 0.0;
+  int count = 0;
+  for (int i = 3 * n / 4; i < n; ++i) {
+    peak = std::max(peak, std::abs(out[i].re.to_double()));
+    mean += out[i].re.to_double();
+    ++count;
+  }
+  mean /= count;
+  EXPECT_NEAR(peak, 0.6 * m, 0.05);
+  EXPECT_NEAR(mean, 0.0, 0.02);  // DC removed
+}
+
+TEST(AmDetector, ConstantCarrierDecaysToZero) {
+  AmDetector det(4);
+  std::vector<CQ16> out;
+  for (int i = 0; i < 400; ++i)
+    det.push(CQ16{Q16::from_double(0.8), Q16{}}, out);
+  EXPECT_NEAR(out.back().re.to_double(), 0.0, 0.01);
+}
+
+TEST(AmDetector, PhaseInvariant) {
+  // Envelope detection must not depend on carrier phase.
+  AmDetector d1(5);
+  AmDetector d2(5);
+  std::vector<CQ16> o1;
+  std::vector<CQ16> o2;
+  for (int i = 0; i < 500; ++i) {
+    const double env = 0.5 + 0.2 * std::sin(0.01 * i);
+    const double p1 = 0.3;
+    const double p2 = 0.3 + 2.0 * M_PI * 0.07 * i;  // spinning phase
+    d1.push(CQ16{Q16::from_double(env * std::cos(p1)),
+                 Q16::from_double(env * std::sin(p1))},
+            o1);
+    d2.push(CQ16{Q16::from_double(env * std::cos(p2)),
+                 Q16::from_double(env * std::sin(p2))},
+            o2);
+  }
+  for (std::size_t i = 100; i < o1.size(); ++i)
+    EXPECT_NEAR(o1[i].re.to_double(), o2[i].re.to_double(), 8e-3);
+}
+
+TEST(AmDetector, SaveRestoreTransparent) {
+  AmDetector ref(6);
+  AmDetector victim(6);
+  SplitMix64 rng(0xA0);
+  std::vector<CQ16> a;
+  std::vector<CQ16> b;
+  for (int i = 0; i < 200; ++i) {
+    const CQ16 s{Q16::from_double(rng.uniform_real(0.2, 0.9)),
+                 Q16::from_double(rng.uniform_real(-0.3, 0.3))};
+    ref.push(s, a);
+    if (i == 71) {
+      const auto ctx = victim.save_state();
+      std::vector<CQ16> junk;
+      for (int k = 0; k < 17; ++k)
+        victim.push(CQ16{Q16::from_double(0.1), Q16{}}, junk);
+      victim.restore_state(ctx);
+    }
+    victim.push(s, b);
+  }
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(AmDetector, ParameterValidation) {
+  EXPECT_THROW(AmDetector(0), precondition_error);
+  EXPECT_THROW(AmDetector(30), precondition_error);
+  AmDetector det(6);
+  std::int32_t junk[2] = {0, 0};
+  EXPECT_THROW(det.restore_state(junk), precondition_error);
+}
+
+}  // namespace
+}  // namespace acc::accel

@@ -1,0 +1,138 @@
+#include "accel/fir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace acc::accel {
+namespace {
+
+TEST(FirDesign, UnitDcGainAndSymmetry) {
+  const std::vector<double> h = design_lowpass(33, 0.1);
+  ASSERT_EQ(h.size(), 33u);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(h[i], h[32 - i], 1e-12);
+}
+
+TEST(FirDesign, RejectsBadParameters) {
+  EXPECT_THROW((void)design_lowpass(32, 0.1), precondition_error);  // even
+  EXPECT_THROW((void)design_lowpass(33, 0.0), precondition_error);
+  EXPECT_THROW((void)design_lowpass(33, 0.5), precondition_error);
+  EXPECT_THROW((void)design_lowpass(1, 0.1), precondition_error);
+}
+
+double response_at(const std::vector<double>& h, double norm_freq) {
+  // |H(e^{j2pi f})| via direct evaluation.
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t n = 0; n < h.size(); ++n) {
+    const double w = 2.0 * M_PI * norm_freq * static_cast<double>(n);
+    re += h[n] * std::cos(w);
+    im -= h[n] * std::sin(w);
+  }
+  return std::hypot(re, im);
+}
+
+TEST(FirDesign, PassbandFlatStopbandDeep) {
+  const std::vector<double> h = design_lowpass(33, 0.1);
+  EXPECT_NEAR(response_at(h, 0.0), 1.0, 1e-9);
+  EXPECT_GT(response_at(h, 0.05), 0.9);       // passband
+  EXPECT_LT(response_at(h, 0.2), 0.02);       // stopband > 34 dB down
+  EXPECT_LT(response_at(h, 0.35), 0.02);
+}
+
+TEST(DecimatingFir, EmitsOnePerDecimationFactor) {
+  DecimatingFir fir(quantize_taps(design_lowpass(5, 0.2)), 4);
+  std::vector<CQ16> out;
+  for (int i = 0; i < 16; ++i)
+    fir.push(CQ16{Q16::from_double(1.0), Q16{}}, out);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(DecimatingFir, DcPassesAtUnityGain) {
+  DecimatingFir fir(quantize_taps(design_lowpass(33, 0.1)), 1);
+  std::vector<CQ16> out;
+  for (int i = 0; i < 100; ++i)
+    fir.push(CQ16{Q16::from_double(0.5), Q16::from_double(-0.25)}, out);
+  // After the 33-sample warmup the output equals the DC input.
+  EXPECT_NEAR(out.back().re.to_double(), 0.5, 2e-3);
+  EXPECT_NEAR(out.back().im.to_double(), -0.25, 2e-3);
+}
+
+TEST(DecimatingFir, StopbandToneAttenuated) {
+  DecimatingFir fir(quantize_taps(design_lowpass(33, 0.05)), 1);
+  std::vector<CQ16> out;
+  const double f = 0.25;  // deep stopband
+  for (int i = 0; i < 300; ++i) {
+    const double v = std::sin(2.0 * M_PI * f * i);
+    fir.push(CQ16{Q16::from_double(v), Q16{}}, out);
+  }
+  double peak = 0.0;
+  for (std::size_t i = 50; i < out.size(); ++i)
+    peak = std::max(peak, std::abs(out[i].re.to_double()));
+  EXPECT_LT(peak, 0.02);
+}
+
+TEST(DecimatingFir, SaveRestoreRoundTrip) {
+  DecimatingFir fir(quantize_taps(design_lowpass(9, 0.2)), 3);
+  std::vector<CQ16> sink;
+  SplitMix64 rng(1);
+  for (int i = 0; i < 17; ++i)
+    fir.push(CQ16{Q16::from_double(rng.uniform_real(-1, 1)), Q16{}}, sink);
+
+  const std::vector<std::int32_t> state = fir.save_state();
+  EXPECT_EQ(state.size(), fir.state_words());
+
+  // Scribble over the kernel, then restore: outputs must continue as if
+  // nothing happened.
+  DecimatingFir twin(quantize_taps(design_lowpass(9, 0.2)), 3);
+  twin.restore_state(state);
+  std::vector<CQ16> a;
+  std::vector<CQ16> b;
+  for (int i = 0; i < 23; ++i) {
+    const CQ16 s{Q16::from_double(rng.uniform_real(-1, 1)), Q16{}};
+    fir.push(s, a);
+    twin.push(s, b);
+  }
+  EXPECT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(DecimatingFir, RestoreRejectsWrongSize) {
+  DecimatingFir fir(quantize_taps(design_lowpass(9, 0.2)), 3);
+  std::vector<std::int32_t> junk(3, 0);
+  EXPECT_THROW(fir.restore_state(junk), precondition_error);
+}
+
+TEST(DecimatingFir, RestoreRejectsCorruptIndices) {
+  DecimatingFir fir(quantize_taps(design_lowpass(9, 0.2)), 3);
+  std::vector<std::int32_t> state = fir.save_state();
+  state[0] = 1000;  // head out of range
+  EXPECT_THROW(fir.restore_state(state), precondition_error);
+}
+
+TEST(DecimatingFir, CloneFreshHasPowerOnState) {
+  DecimatingFir fir(quantize_taps(design_lowpass(9, 0.2)), 3, "lpf");
+  std::vector<CQ16> sink;
+  fir.push(CQ16{Q16::from_double(1.0), Q16{}}, sink);
+  const auto fresh = fir.clone_fresh();
+  EXPECT_EQ(fresh->name(), "lpf");
+  // A fresh clone starts with an empty delay line: same as a reset kernel.
+  fir.reset();
+  std::vector<CQ16> a;
+  std::vector<CQ16> b;
+  for (int i = 0; i < 9; ++i) {
+    const CQ16 s{Q16::from_double(0.3), Q16{}};
+    fir.push(s, a);
+    fresh->push(s, b);
+  }
+  EXPECT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace acc::accel

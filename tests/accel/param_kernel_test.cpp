@@ -1,0 +1,118 @@
+// Parameterized kernel sweeps: CORDIC accuracy vs iteration count, and
+// save/restore transparency at every block-split point (a context switch
+// can interrupt a stream anywhere, including mid-decimation-phase).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "accel/cordic.hpp"
+#include "accel/fir.hpp"
+#include "accel/mixer.hpp"
+#include "common/rng.hpp"
+
+namespace acc::accel {
+namespace {
+
+// ---- CORDIC accuracy improves with iterations (error ~ 2^-n) ----------
+
+class CordicIterations : public ::testing::TestWithParam<int> {};
+
+TEST_P(CordicIterations, RotationErrorBoundedByIterationCount) {
+  const int iters = GetParam();
+  // Error sources: angle resolution ~2^-(iters-1) plus Q16 quantization.
+  const double tol = std::ldexp(2.0, -iters) + 6.0 / (1 << 16);
+  SplitMix64 rng(77 + static_cast<std::uint64_t>(iters));
+  double worst = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform_real(-M_PI, M_PI);
+    const RotateResult r = cordic_rotate(Q16::from_double(1.0), Q16{},
+                                         Q16::from_double(a), iters);
+    worst = std::max(worst, std::abs(r.x.to_double() - std::cos(a)));
+    worst = std::max(worst, std::abs(r.y.to_double() - std::sin(a)));
+  }
+  EXPECT_LT(worst, tol) << "iterations=" << iters;
+}
+
+TEST_P(CordicIterations, VectoringErrorBoundedByIterationCount) {
+  const int iters = GetParam();
+  const double tol = std::ldexp(2.0, -iters) + 6.0 / (1 << 16);
+  SplitMix64 rng(99 + static_cast<std::uint64_t>(iters));
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform_real(-M_PI, M_PI);
+    const VectorResult v = cordic_vector(Q16::from_double(std::cos(a)),
+                                         Q16::from_double(std::sin(a)), iters);
+    double err = v.angle.to_double() - a;
+    if (err > M_PI) err -= 2 * M_PI;
+    if (err < -M_PI) err += 2 * M_PI;
+    EXPECT_LT(std::abs(err), tol) << "a=" << a << " iters=" << iters;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CordicIterations,
+                         ::testing::Values(8, 10, 12, 14, 16, 20),
+                         ::testing::PrintToStringParamName());
+
+// ---- save/restore transparency at every split point -------------------
+
+class SplitPoint : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitPoint, FirContextSwitchAtAnyOffsetIsTransparent) {
+  const int split = GetParam();
+  const std::vector<Q16> taps = quantize_taps(design_lowpass(17, 0.1));
+  DecimatingFir reference(taps, 8);
+  DecimatingFir victim(taps, 8);
+  DecimatingFir intruder(taps, 8);  // runs "another stream" mid-switch
+
+  SplitMix64 rng(0x51);
+  std::vector<CQ16> ref_out;
+  std::vector<CQ16> out;
+  for (int i = 0; i < 50; ++i) {
+    const CQ16 s{Q16::from_double(rng.uniform_real(-1, 1)),
+                 Q16::from_double(rng.uniform_real(-1, 1))};
+    reference.push(s, ref_out);
+    if (i == split) {
+      // Context switch: save, let another stream trample the datapath,
+      // restore.
+      const std::vector<std::int32_t> ctx = victim.save_state();
+      std::vector<CQ16> junk;
+      for (int k = 0; k < 23; ++k)
+        victim.push(CQ16{Q16::from_double(0.9), Q16{}}, junk);
+      victim.restore_state(ctx);
+    }
+    victim.push(s, out);
+  }
+  (void)intruder;
+  ASSERT_EQ(out.size(), ref_out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], ref_out[i]);
+}
+
+TEST_P(SplitPoint, MixerContextSwitchAtAnyOffsetIsTransparent) {
+  const int split = GetParam();
+  NcoMixer reference(NcoMixer::freq_from_normalized(0.117));
+  NcoMixer victim(NcoMixer::freq_from_normalized(0.117));
+  SplitMix64 rng(0x52);
+  std::vector<CQ16> ref_out;
+  std::vector<CQ16> out;
+  for (int i = 0; i < 40; ++i) {
+    const CQ16 s{Q16::from_double(rng.uniform_real(-1, 1)),
+                 Q16::from_double(rng.uniform_real(-1, 1))};
+    reference.push(s, ref_out);
+    if (i == split) {
+      const std::vector<std::int32_t> ctx = victim.save_state();
+      std::vector<CQ16> junk;
+      for (int k = 0; k < 7; ++k) victim.push(s, junk);
+      victim.restore_state(ctx);
+    }
+    victim.push(s, out);
+  }
+  ASSERT_EQ(out.size(), ref_out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], ref_out[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, SplitPoint,
+                         ::testing::Values(0, 1, 3, 7, 8, 9, 15, 16, 17, 31),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace acc::accel

@@ -1,0 +1,76 @@
+#include "common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace acc {
+namespace {
+
+TEST(Fixed, RoundTripSmallValues) {
+  for (double v : {0.0, 1.0, -1.0, 0.5, -0.25, 1.4142, -3.1415}) {
+    EXPECT_NEAR(Q16::from_double(v).to_double(), v, 1.0 / (1 << 15));
+  }
+}
+
+TEST(Fixed, OneConstant) {
+  EXPECT_EQ(Q16::from_double(1.0).raw(), Q16::one);
+}
+
+TEST(Fixed, AdditionMatchesDouble) {
+  const Q16 a = Q16::from_double(1.5);
+  const Q16 b = Q16::from_double(-0.75);
+  EXPECT_NEAR((a + b).to_double(), 0.75, 1e-4);
+  EXPECT_NEAR((a - b).to_double(), 2.25, 1e-4);
+}
+
+TEST(Fixed, MultiplicationMatchesDouble) {
+  const Q16 a = Q16::from_double(1.25);
+  const Q16 b = Q16::from_double(-2.5);
+  EXPECT_NEAR((a * b).to_double(), -3.125, 1e-3);
+}
+
+TEST(Fixed, SaturatesInsteadOfWrapping) {
+  const auto big = Fixed<16>::from_raw(INT32_MAX);
+  const auto sum = big + big;
+  EXPECT_EQ(sum.raw(), INT32_MAX);  // saturated high
+  const auto small = Fixed<16>::from_raw(INT32_MIN);
+  EXPECT_EQ((small + small).raw(), INT32_MIN);  // saturated low
+}
+
+TEST(Fixed, ArithmeticShiftRight) {
+  const Q16 v = Q16::from_double(2.0);
+  EXPECT_NEAR(v.asr(1).to_double(), 1.0, 1e-4);
+  const Q16 n = Q16::from_double(-2.0);
+  EXPECT_NEAR(n.asr(1).to_double(), -1.0, 1e-4);
+}
+
+TEST(ComplexFixed, ComplexMultiply) {
+  // (1 + 2i) * (3 - 1i) = 5 + 5i
+  const CQ16 a{Q16::from_double(1.0), Q16::from_double(2.0)};
+  const CQ16 b{Q16::from_double(3.0), Q16::from_double(-1.0)};
+  const CQ16 p = a * b;
+  EXPECT_NEAR(p.re.to_double(), 5.0, 1e-3);
+  EXPECT_NEAR(p.im.to_double(), 5.0, 1e-3);
+}
+
+// Property: fixed-point multiply tracks double multiply within quantization.
+TEST(FixedProperty, MultiplyError) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform_real(-100.0, 100.0);
+    const double y = rng.uniform_real(-100.0, 100.0);
+    const double got = (Q16::from_double(x) * Q16::from_double(y)).to_double();
+    const double want = x * y;
+    if (std::abs(want) < 30000.0) {  // inside representable range
+      // Error bound: quantizing each operand contributes |y|*q and |x|*q.
+      const double tol = (std::abs(x) + std::abs(y) + 1.0) / (1 << 16) * 2.0;
+      EXPECT_NEAR(got, want, tol) << x << " * " << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acc

@@ -1,0 +1,106 @@
+#include "common/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace acc {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  Rational r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  Rational s(-6, -4);
+  EXPECT_EQ(s.num(), 3);
+  EXPECT_EQ(s.den(), 2);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), precondition_error);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 3) / Rational(4, 3), Rational(1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(7), Rational(7));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6, 2).floor(), 3);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), precondition_error);
+  EXPECT_THROW((void)Rational(0).reciprocal(), precondition_error);
+}
+
+TEST(Rational, OverflowDetected) {
+  const Rational big(INT64_MAX / 2, 1);
+  EXPECT_THROW(big * big, std::overflow_error);
+}
+
+TEST(Rational, StreamFormat) {
+  EXPECT_EQ(Rational(3, 6).str(), "1/2");
+  EXPECT_EQ(Rational(4, 2).str(), "2");
+  EXPECT_EQ(Rational(-1, 3).str(), "-1/3");
+}
+
+TEST(Rational, GcdLcm) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(0, 6), 0);
+}
+
+// Property: field axioms hold for random small rationals.
+TEST(RationalProperty, RandomizedFieldAxioms) {
+  SplitMix64 rng(0xACC5EED);
+  for (int i = 0; i < 2000; ++i) {
+    const Rational a(rng.uniform(-50, 50), rng.uniform(1, 30));
+    const Rational b(rng.uniform(-50, 50), rng.uniform(1, 30));
+    const Rational c(rng.uniform(-50, 50), rng.uniform(1, 30));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.is_zero()) { EXPECT_EQ(a / b * b, a); }
+  }
+}
+
+// Property: floor/ceil bracket the true value.
+TEST(RationalProperty, FloorCeilBracket) {
+  SplitMix64 rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const Rational r(rng.uniform(-1000, 1000), rng.uniform(1, 97));
+    EXPECT_LE(Rational(r.floor()), r);
+    EXPECT_GE(Rational(r.ceil()), r);
+    EXPECT_LE(r.ceil() - r.floor(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace acc

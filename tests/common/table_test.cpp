@@ -1,0 +1,42 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace acc {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "10"});
+  t.add_row({"longer", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2     |"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), precondition_error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), precondition_error);
+}
+
+TEST(FmtInt, ThousandsSeparators) {
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(999), "999");
+  EXPECT_EQ(fmt_int(1000), "1,000");
+  EXPECT_EQ(fmt_int(32904), "32,904");
+  EXPECT_EQ(fmt_int(-1234567), "-1,234,567");
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(63.49999, 1), "63.5");
+  EXPECT_EQ(fmt_double(2.0, 2), "2.00");
+}
+
+}  // namespace
+}  // namespace acc

@@ -1,0 +1,95 @@
+#include "dataflow/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acc::df {
+namespace {
+
+// src(2) -> mid(3) -> sink, bounded by a generous return channel.
+struct Pipeline {
+  Graph g;
+  ActorId src;
+  ActorId mid;
+  EdgeId out;
+};
+
+Pipeline make_pipeline() {
+  Pipeline p;
+  p.src = p.g.add_sdf_actor("src", 2);
+  p.mid = p.g.add_sdf_actor("mid", 3);
+  p.g.add_sdf_edge(p.src, p.mid, 1, 1, 0);
+  p.out = p.g.add_sdf_edge(p.mid, p.src, 1, 1, 4);  // feedback bounds it
+  return p;
+}
+
+TEST(Latency, FiringStartTimes) {
+  Pipeline p = make_pipeline();
+  const std::vector<Time> starts = firing_start_times(p.g, p.src, 3);
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[0], 0);
+  // src is serialized with duration 2 and 4 feedback tokens: back-to-back.
+  EXPECT_EQ(starts[1], 2);
+  EXPECT_EQ(starts[2], 4);
+}
+
+TEST(Latency, TokenProductionTimes) {
+  Pipeline p = make_pipeline();
+  const std::vector<Time> times = token_production_times(p.g, p.out, 3);
+  ASSERT_EQ(times.size(), 3u);
+  // mid fires [2,5], [5,8], [8,11] (serialized, inputs at 2,4,6).
+  EXPECT_EQ(times[0], 5);
+  EXPECT_EQ(times[1], 8);
+  EXPECT_EQ(times[2], 11);
+}
+
+TEST(Latency, EndToEndSummary) {
+  Pipeline p = make_pipeline();
+  const LatencySummary s = end_to_end_latency(p.g, p.src, p.out, 3);
+  EXPECT_EQ(s.pairs, 3u);
+  // stimuli 0,2,4 -> responses 5,8,11: latencies 5,6,7.
+  EXPECT_EQ(s.min, 5);
+  EXPECT_EQ(s.max, 7);
+  EXPECT_DOUBLE_EQ(s.mean, 6.0);
+}
+
+TEST(Latency, SummaryRejectsCausalityViolation) {
+  EXPECT_THROW((void)summarize_latency({5}, {3}), precondition_error);
+}
+
+TEST(Latency, EmptyInputs) {
+  const LatencySummary s = summarize_latency({}, {1, 2});
+  EXPECT_EQ(s.pairs, 0u);
+}
+
+TEST(Latency, BulkProductionRepeatsTimestamp) {
+  Graph g;
+  const ActorId a = g.add_sdf_actor("a", 4);
+  const ActorId b = g.add_sdf_actor("b", 1);
+  const EdgeId e = g.add_sdf_edge(a, b, 3, 1, 0);
+  const std::vector<Time> times = token_production_times(g, e, 5);
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_EQ(times[0], 4);
+  EXPECT_EQ(times[1], 4);
+  EXPECT_EQ(times[2], 4);
+  EXPECT_EQ(times[3], 8);
+  EXPECT_EQ(times[4], 8);
+}
+
+TEST(Latency, DeadlockedGraphReturnsPartialData) {
+  Graph g;
+  const ActorId a = g.add_sdf_actor("a", 1);
+  const ActorId b = g.add_sdf_actor("b", 1);
+  g.add_sdf_edge(a, b, 1, 1, 0);
+  const EdgeId back = g.add_sdf_edge(b, a, 1, 1, 2);  // only 2 rounds... no:
+  // tokens recirculate, so this is live; instead deadlock with 0 tokens.
+  (void)back;
+  Graph dead;
+  const ActorId x = dead.add_sdf_actor("x", 1);
+  const ActorId y = dead.add_sdf_actor("y", 1);
+  const EdgeId xy = dead.add_sdf_edge(x, y, 1, 1, 0);
+  dead.add_sdf_edge(y, x, 1, 1, 0);
+  EXPECT_TRUE(token_production_times(dead, xy, 3).empty());
+}
+
+}  // namespace
+}  // namespace acc::df

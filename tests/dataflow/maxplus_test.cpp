@@ -1,0 +1,123 @@
+#include "dataflow/maxplus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace acc::df {
+namespace {
+
+TEST(MaxPlusScalar, SemiringOperations) {
+  const MaxPlus a(3);
+  const MaxPlus b(5);
+  EXPECT_EQ((a | b).value(), 5);
+  EXPECT_EQ((a * b).value(), 8);
+  EXPECT_TRUE((MaxPlus::neg_inf() * a).is_neg_inf());
+  EXPECT_EQ((MaxPlus::neg_inf() | a).value(), 3);
+  EXPECT_THROW((void)MaxPlus::neg_inf().value(), precondition_error);
+}
+
+TEST(MaxPlusMatrix, IdentityIsNeutral) {
+  MaxPlusMatrix m(3);
+  m.set(0, 1, MaxPlus(4));
+  m.set(1, 2, MaxPlus(7));
+  m.set(2, 0, MaxPlus(1));
+  const MaxPlusMatrix id = MaxPlusMatrix::identity(3);
+  EXPECT_EQ(m * id, m);
+  EXPECT_EQ(id * m, m);
+}
+
+TEST(MaxPlusMatrix, ProductIsLongestPathComposition) {
+  // M[r][c] = weight of c -> r; (M*M)[r][c] = best 2-step path.
+  MaxPlusMatrix m(2);
+  m.set(0, 0, MaxPlus(1));
+  m.set(0, 1, MaxPlus(10));
+  m.set(1, 0, MaxPlus(2));
+  const MaxPlusMatrix m2 = m * m;
+  // 0<-0 in two steps: max(1+1, 10+2) = 12.
+  EXPECT_EQ(m2.at(0, 0).value(), 12);
+  // 1<-1: only 1<-0<-1 = 2+10.
+  EXPECT_EQ(m2.at(1, 1).value(), 12);
+}
+
+TEST(MaxPlusMatrix, ApplyMatchesManualRecurrence) {
+  MaxPlusMatrix m(2);
+  m.set(0, 0, MaxPlus(2));
+  m.set(1, 0, MaxPlus(3));
+  m.set(1, 1, MaxPlus(1));
+  std::vector<MaxPlus> x{MaxPlus(0), MaxPlus(5)};
+  const std::vector<MaxPlus> y = m.apply(x);
+  EXPECT_EQ(y[0].value(), 2);                    // 0+2
+  EXPECT_EQ(y[1].value(), 6);                    // max(0+3, 5+1)
+}
+
+TEST(MaxPlusEigen, SingleLoop) {
+  MaxPlusMatrix m(1);
+  m.set(0, 0, MaxPlus(7));
+  const auto ev = maxplus_eigenvalue(m);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(*ev, Rational(7));
+}
+
+TEST(MaxPlusEigen, TwoCyclePicksMaximumMean) {
+  // Cycle 0->0 mean 3; cycle 0->1->0 mean (2+5)/2.
+  MaxPlusMatrix m(2);
+  m.set(0, 0, MaxPlus(3));
+  m.set(1, 0, MaxPlus(2));
+  m.set(0, 1, MaxPlus(5));
+  const auto ev = maxplus_eigenvalue(m);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(*ev, Rational(7, 2));
+}
+
+TEST(MaxPlusEigen, NilpotentHasNone) {
+  MaxPlusMatrix m(2);
+  m.set(1, 0, MaxPlus(9));  // strictly triangular: no cycle
+  EXPECT_FALSE(maxplus_eigenvalue(m).has_value());
+}
+
+TEST(MaxPlusCyclicity, IrreducibleMatrixBecomesPeriodic) {
+  MaxPlusMatrix m(2);
+  m.set(0, 0, MaxPlus(3));
+  m.set(1, 0, MaxPlus(2));
+  m.set(0, 1, MaxPlus(5));
+  m.set(1, 1, MaxPlus(1));
+  const auto cy = maxplus_cyclicity(m);
+  ASSERT_TRUE(cy.has_value());
+  // growth/period equals the eigenvalue.
+  const auto ev = maxplus_eigenvalue(m);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(Rational(cy->growth, cy->period), *ev);
+  // The cyclicity relation itself: M^(k0+c) == lambda_c (x) M^k0.
+  MaxPlusMatrix p = m;
+  for (std::int64_t k = 1; k < cy->transient; ++k) p = p * m;
+  MaxPlusMatrix q = p;
+  for (std::int64_t k = 0; k < cy->period; ++k) q = q * m;
+  EXPECT_EQ(q, p.scaled(cy->growth));
+}
+
+// Property: eigenvalue of random irreducible non-negative matrices equals
+// growth/period from cyclicity.
+TEST(MaxPlusProperty, CyclicityGrowthMatchesEigenvalue) {
+  SplitMix64 rng(0x3A9);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform(1, 4));
+    MaxPlusMatrix m(n);
+    // Ring backbone keeps it irreducible; sprinkle extra edges.
+    for (std::size_t i = 0; i < n; ++i)
+      m.set((i + 1) % n, i, MaxPlus(rng.uniform(0, 9)));
+    for (std::size_t i = 0; i < n; ++i)
+      if (rng.chance(0.5))
+        m.set(static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(n) - 1)),
+              i, MaxPlus(rng.uniform(0, 9)));
+    const auto ev = maxplus_eigenvalue(m);
+    const auto cy = maxplus_cyclicity(m, 2048);
+    ASSERT_TRUE(ev.has_value());
+    ASSERT_TRUE(cy.has_value()) << "trial " << trial;
+    EXPECT_EQ(Rational(cy->growth, cy->period), *ev) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace acc::df

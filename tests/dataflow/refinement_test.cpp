@@ -1,0 +1,52 @@
+#include "dataflow/refinement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace acc::df {
+namespace {
+
+TEST(Refinement, HoldsWhenRefinedIsEarlier) {
+  const std::vector<Time> refined{1, 3, 5};
+  const std::vector<Time> abstraction{2, 3, 9};
+  const RefinementReport r = check_earlier_the_better(refined, abstraction);
+  EXPECT_TRUE(r.holds);
+  EXPECT_EQ(r.compared, 3u);
+}
+
+TEST(Refinement, ViolationReported) {
+  const std::vector<Time> refined{1, 4};
+  const std::vector<Time> abstraction{2, 3};
+  const RefinementReport r = check_earlier_the_better(refined, abstraction);
+  EXPECT_FALSE(r.holds);
+  EXPECT_EQ(r.violating_index, 1u);
+  EXPECT_EQ(r.refined_time, 4);
+  EXPECT_EQ(r.abstract_time, 3);
+}
+
+TEST(Refinement, ComparesCommonPrefixOnly) {
+  const std::vector<Time> refined{1, 2, 3, 4};
+  const std::vector<Time> abstraction{5, 6};
+  const RefinementReport r = check_earlier_the_better(refined, abstraction);
+  EXPECT_TRUE(r.holds);
+  EXPECT_EQ(r.compared, 2u);
+}
+
+TEST(Refinement, EmptySequencesHold) {
+  const RefinementReport r = check_earlier_the_better({}, {});
+  EXPECT_TRUE(r.holds);
+  EXPECT_EQ(r.compared, 0u);
+}
+
+TEST(Refinement, DescribeMentionsViolation) {
+  const std::vector<Time> refined{9};
+  const std::vector<Time> abstraction{1};
+  const std::string s = describe(check_earlier_the_better(refined, abstraction));
+  EXPECT_NE(s.find("VIOLATED"), std::string::npos);
+  const std::string ok = describe(check_earlier_the_better(abstraction, refined));
+  EXPECT_NE(ok.find("holds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acc::df

@@ -1,0 +1,120 @@
+#include "dataflow/repetition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dataflow/graph.hpp"
+
+namespace acc::df {
+namespace {
+
+TEST(Repetition, SimpleMultiRateChain) {
+  // A --2:3--> B: r = [3, 2].
+  Graph g;
+  const ActorId a = g.add_sdf_actor("A", 1);
+  const ActorId b = g.add_sdf_actor("B", 1);
+  g.add_sdf_edge(a, b, 2, 3, 0);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  ASSERT_TRUE(rv.consistent);
+  EXPECT_EQ(rv.firings[a], 3);
+  EXPECT_EQ(rv.firings[b], 2);
+}
+
+TEST(Repetition, HomogeneousGraphIsAllOnes) {
+  Graph g;
+  const ActorId a = g.add_sdf_actor("A", 1);
+  const ActorId b = g.add_sdf_actor("B", 1);
+  const ActorId c = g.add_sdf_actor("C", 1);
+  g.add_sdf_edge(a, b, 1, 1, 0);
+  g.add_sdf_edge(b, c, 1, 1, 0);
+  g.add_sdf_edge(c, a, 1, 1, 2);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  ASSERT_TRUE(rv.consistent);
+  EXPECT_EQ(rv.firings, (std::vector<std::int64_t>{1, 1, 1}));
+}
+
+TEST(Repetition, InconsistentCycleDetected) {
+  // A --1:1--> B --1:1--> A but with a 2:1 edge closing the loop: no
+  // positive solution exists.
+  Graph g;
+  const ActorId a = g.add_sdf_actor("A", 1);
+  const ActorId b = g.add_sdf_actor("B", 1);
+  g.add_sdf_edge(a, b, 1, 1, 0);
+  g.add_sdf_edge(b, a, 2, 1, 0);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  EXPECT_FALSE(rv.consistent);
+}
+
+TEST(Repetition, CsdfUsesPhaseSums) {
+  // CSDF actor A with phases producing <1,0>; B consumes 1 per firing.
+  // One cycle of A (2 firings) produces 1 token => r_cycles = [1, 1] scaled:
+  // A: 1 cycle = 2 firings, B: 1 firing.
+  Graph g;
+  const ActorId a = g.add_actor("A", {1, 1});
+  const ActorId b = g.add_sdf_actor("B", 1);
+  g.add_edge(a, b, {1, 0}, {1}, 0);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  ASSERT_TRUE(rv.consistent);
+  EXPECT_EQ(rv.cycles[a], 1);
+  EXPECT_EQ(rv.firings[a], 2);
+  EXPECT_EQ(rv.firings[b], 1);
+}
+
+TEST(Repetition, TwoIndependentComponentsScaledSeparately) {
+  Graph g;
+  const ActorId a = g.add_sdf_actor("A", 1);
+  const ActorId b = g.add_sdf_actor("B", 1);
+  const ActorId c = g.add_sdf_actor("C", 1);
+  const ActorId d = g.add_sdf_actor("D", 1);
+  g.add_sdf_edge(a, b, 4, 2, 0);  // r(a)=1, r(b)=2
+  g.add_sdf_edge(c, d, 5, 1, 0);  // r(c)=1, r(d)=5
+  const RepetitionVector rv = compute_repetition_vector(g);
+  ASSERT_TRUE(rv.consistent);
+  EXPECT_EQ(rv.firings[a], 1);
+  EXPECT_EQ(rv.firings[b], 2);
+  EXPECT_EQ(rv.firings[c], 1);
+  EXPECT_EQ(rv.firings[d], 5);
+}
+
+TEST(Repetition, EmptyGraphConsistent) {
+  Graph g;
+  EXPECT_TRUE(compute_repetition_vector(g).consistent);
+}
+
+TEST(Repetition, CycleProductionSums) {
+  Graph g;
+  const ActorId a = g.add_actor("A", {1, 1, 1});
+  const ActorId b = g.add_sdf_actor("B", 1);
+  const EdgeId e = g.add_edge(a, b, {2, 0, 1}, {3}, 0);
+  EXPECT_EQ(cycle_production(g.edge(e)), 3);
+  EXPECT_EQ(cycle_consumption(g.edge(e)), 3);
+}
+
+// Property: on random consistent chains the balance equations hold.
+TEST(RepetitionProperty, BalanceEquationsHoldOnRandomChains) {
+  SplitMix64 rng(0xBEEF);
+  for (int trial = 0; trial < 200; ++trial) {
+    Graph g;
+    const int n = static_cast<int>(rng.uniform(2, 6));
+    std::vector<ActorId> actors;
+    for (int i = 0; i < n; ++i)
+      actors.push_back(g.add_sdf_actor("a" + std::to_string(i), 1));
+    for (int i = 0; i + 1 < n; ++i) {
+      g.add_sdf_edge(actors[i], actors[i + 1], rng.uniform(1, 6),
+                     rng.uniform(1, 6), rng.uniform(0, 3));
+    }
+    const RepetitionVector rv = compute_repetition_vector(g);
+    ASSERT_TRUE(rv.consistent);
+    for (const Edge& e : g.edges()) {
+      EXPECT_EQ(rv.cycles[e.src] * cycle_production(e),
+                rv.cycles[e.dst] * cycle_consumption(e));
+    }
+    // Minimality: gcd of all cycle counts is 1 per (single) component.
+    std::int64_t gcd_all = 0;
+    for (std::int64_t c : rv.cycles) gcd_all = gcd64(gcd_all, c);
+    EXPECT_EQ(gcd_all, 1);
+  }
+}
+
+}  // namespace
+}  // namespace acc::df

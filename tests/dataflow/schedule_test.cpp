@@ -1,0 +1,101 @@
+#include "dataflow/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dataflow/executor.hpp"
+#include "dataflow/graph.hpp"
+
+namespace acc::df {
+namespace {
+
+HsdfGraph two_actor_cycle_hsdf() {
+  Graph g;
+  const ActorId a = g.add_sdf_actor("A", 2);
+  const ActorId b = g.add_sdf_actor("B", 3);
+  g.add_sdf_edge(a, b, 1, 1, 0);
+  g.add_sdf_edge(b, a, 1, 1, 1);
+  return expand_to_hsdf(g);
+}
+
+TEST(Schedule, FeasibleAtMcrInfeasibleBelow) {
+  const HsdfGraph h = two_actor_cycle_hsdf();
+  // MCR = (2+3)/1 = 5.
+  EXPECT_FALSE(periodic_schedule(h, 4).feasible);
+  const PeriodicSchedule s5 = periodic_schedule(h, 5);
+  ASSERT_TRUE(s5.feasible);
+  EXPECT_TRUE(schedule_admissible(h, s5));
+}
+
+TEST(Schedule, MinimumIntegerPeriodMatchesMcr) {
+  const HsdfGraph h = two_actor_cycle_hsdf();
+  const auto t = minimum_integer_period(h);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 5);
+}
+
+TEST(Schedule, StartOffsetsRespectPipelineOrder) {
+  const HsdfGraph h = two_actor_cycle_hsdf();
+  const PeriodicSchedule s = periodic_schedule(h, 5);
+  ASSERT_TRUE(s.feasible);
+  // B can only start after A's output: s(B) >= s(A) + 2.
+  // (Nodes: the expansion keeps actor order for r = [1,1].)
+  EXPECT_GE(s.start[1], s.start[0] + 2);
+}
+
+TEST(Schedule, DeadlockedGraphHasNoPeriod) {
+  Graph g;
+  const ActorId a = g.add_sdf_actor("A", 1);
+  const ActorId b = g.add_sdf_actor("B", 1);
+  g.add_sdf_edge(a, b, 1, 1, 0);
+  g.add_sdf_edge(b, a, 1, 1, 0);
+  const HsdfGraph h = expand_to_hsdf(g);
+  EXPECT_FALSE(minimum_integer_period(h).has_value());
+}
+
+TEST(Schedule, GenerousPeriodAlwaysFeasible) {
+  const HsdfGraph h = two_actor_cycle_hsdf();
+  const PeriodicSchedule s = periodic_schedule(h, 1000);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_TRUE(schedule_admissible(h, s));
+}
+
+// Property: across random bounded pipelines, (a) the minimum integer period
+// equals ceil(1 / executor throughput-per-iteration), (b) the schedule at
+// that period validates, and (c) one cycle less is infeasible.
+TEST(ScheduleProperty, MinimumPeriodAgreesWithExecutor) {
+  SplitMix64 rng(0x5CED);
+  int checked = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Graph g;
+    const ActorId a = g.add_sdf_actor("A", rng.uniform(1, 5));
+    const ActorId b = g.add_sdf_actor("B", rng.uniform(1, 5));
+    const std::int64_t prod = rng.uniform(1, 3);
+    const std::int64_t cons = rng.uniform(1, 3);
+    g.add_channel(a, b, {prod}, {cons}, prod + cons + rng.uniform(0, 4));
+    const HsdfGraph h = expand_to_hsdf(g);
+    const auto t = minimum_integer_period(h);
+    SelfTimedExecutor exec(g);
+    const ThroughputResult st = exec.analyze_throughput(a);
+    if (st.deadlocked) {
+      EXPECT_FALSE(t.has_value());
+      continue;
+    }
+    ASSERT_TRUE(t.has_value());
+    // Iterations per time = throughput(a) / r[a]; period per iteration is
+    // its reciprocal.
+    const RepetitionVector rv = compute_repetition_vector(g);
+    const Rational iter_period =
+        (st.throughput / Rational(rv.firings[a])).reciprocal();
+    EXPECT_EQ(*t, iter_period.ceil()) << "trial " << trial;
+    const PeriodicSchedule ok = periodic_schedule(h, *t);
+    EXPECT_TRUE(schedule_admissible(h, ok));
+    if (*t > 1 && Rational(*t - 1) < iter_period)
+      EXPECT_FALSE(periodic_schedule(h, *t - 1).feasible);
+    ++checked;
+  }
+  EXPECT_GT(checked, 30);
+}
+
+}  // namespace
+}  // namespace acc::df

@@ -1,0 +1,117 @@
+#include "radio/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radio/metrics.hpp"
+
+namespace acc::radio {
+namespace {
+
+/// Scaled-down broadcast (laptop-friendly) that keeps the paper's 64:1
+/// input-to-audio rate ratio and two 8:1 down-sampling stages.
+struct Scenario {
+  PalStereoConfig pal;
+  DecoderConfig dec;
+  double tone_left = 400.0;
+  double tone_right = 700.0;
+
+  Scenario() {
+    pal.sample_rate = 512000.0;
+    pal.carrier1_hz = 120000.0;
+    pal.carrier2_hz = 180000.0;
+    pal.deviation_hz = 15000.0;
+    dec.sample_rate = pal.sample_rate;
+    dec.carrier1_hz = pal.carrier1_hz;
+    dec.carrier2_hz = pal.carrier2_hz;
+    dec.deviation_hz = pal.deviation_hz;
+  }
+};
+
+StereoDecodeResult run_decode(const Scenario& sc, std::size_t n) {
+  const Tone l{sc.tone_left, 0.8};
+  const Tone r{sc.tone_right, 0.8};
+  const StereoSource src =
+      render_stereo_tones({&l, 1}, {&r, 1}, sc.pal.sample_rate, n);
+  const std::vector<cplx> bb = synthesize_pal_stereo(sc.pal, src);
+  return decode_stereo(bb, sc.dec);
+}
+
+TEST(ReferenceDecoder, RecoversBothTones) {
+  Scenario sc;
+  const StereoDecodeResult res = run_decode(sc, 1 << 16);
+  ASSERT_GT(res.left.size(), 500u);
+  EXPECT_NEAR(res.audio_rate, 8000.0, 1e-9);
+  std::vector<double> left = res.left;
+  std::vector<double> right = res.right;
+  remove_dc(left);
+  remove_dc(right);
+  const std::size_t skip = 128;  // two FIR warmups at audio rate
+  EXPECT_GT(tone_snr_db(left, res.audio_rate, sc.tone_left, skip), 20.0);
+  EXPECT_GT(tone_snr_db(right, res.audio_rate, sc.tone_right, skip), 20.0);
+}
+
+TEST(ReferenceDecoder, StereoSeparation) {
+  Scenario sc;
+  const StereoDecodeResult res = run_decode(sc, 1 << 16);
+  std::vector<double> left = res.left;
+  std::vector<double> right = res.right;
+  remove_dc(left);
+  remove_dc(right);
+  const std::size_t skip = 128;
+  // The right tone must be much weaker in the left channel and vice versa.
+  const auto body = [&](const std::vector<double>& ch) {
+    return std::span<const double>(ch).subspan(skip);
+  };
+  const double l_own = goertzel_power(body(left), res.audio_rate, sc.tone_left);
+  const double l_leak =
+      goertzel_power(body(left), res.audio_rate, sc.tone_right);
+  const double r_own =
+      goertzel_power(body(right), res.audio_rate, sc.tone_right);
+  const double r_leak =
+      goertzel_power(body(right), res.audio_rate, sc.tone_left);
+  EXPECT_GT(l_own, 30.0 * l_leak);
+  EXPECT_GT(r_own, 30.0 * r_leak);
+}
+
+TEST(ReferenceDecoder, AmplitudeApproximatelyPreserved) {
+  Scenario sc;
+  const StereoDecodeResult res = run_decode(sc, 1 << 16);
+  std::vector<double> right = res.right;
+  remove_dc(right);
+  const double p = goertzel_power(
+      std::span<const double>(right).subspan(128), res.audio_rate,
+      sc.tone_right);
+  // Input amplitude 0.8 -> power 0.32; allow filter droop.
+  EXPECT_NEAR(p, 0.32, 0.12);
+}
+
+TEST(MixToBaseband, ShiftsCarrierToDc) {
+  // A pure carrier mixed by its own frequency becomes DC.
+  const std::vector<double> silence(4096, 0.0);
+  const std::vector<cplx> carrier = fm_modulate(silence, 5000.0, 0.0, 64000.0);
+  const std::vector<cplx> mixed = mix_to_baseband(carrier, 5000.0, 64000.0);
+  for (std::size_t i = 1; i < mixed.size(); ++i) {
+    EXPECT_NEAR(std::abs(mixed[i] - mixed[i - 1]), 0.0, 1e-9);
+  }
+}
+
+TEST(FirDecimateReference, CountsAndDelays) {
+  std::vector<cplx> in(64, cplx{1.0, 0.0});
+  const std::vector<double> taps{0.25, 0.25, 0.25, 0.25};
+  const std::vector<cplx> out = fir_decimate(in, taps, 8);
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_NEAR(out.back().real(), 1.0, 1e-12);
+}
+
+TEST(FmDiscriminateReference, RecoversInstantaneousFrequency) {
+  const std::vector<double> silence(256, 0.0);
+  const std::vector<cplx> carrier = fm_modulate(silence, 1000.0, 0.0, 16000.0);
+  const std::vector<double> f = fm_discriminate(carrier);
+  for (std::size_t i = 2; i < f.size(); ++i)
+    EXPECT_NEAR(f[i], 2.0 * 1000.0 / 16000.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace acc::radio

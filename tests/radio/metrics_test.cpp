@@ -1,0 +1,74 @@
+#include "radio/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace acc::radio {
+namespace {
+
+std::vector<double> sine(double f, double fs, std::size_t n, double amp = 1.0) {
+  std::vector<double> s(n);
+  for (std::size_t i = 0; i < n; ++i)
+    s[i] = amp * std::sin(2.0 * M_PI * f * static_cast<double>(i) / fs);
+  return s;
+}
+
+TEST(Goertzel, UnitSineReportsHalfPower) {
+  const auto s = sine(440.0, 44100.0, 44100);
+  EXPECT_NEAR(goertzel_power(s, 44100.0, 440.0), 0.5, 1e-4);
+}
+
+TEST(Goertzel, OffFrequencyNearZero) {
+  const auto s = sine(440.0, 44100.0, 44100);
+  EXPECT_LT(goertzel_power(s, 44100.0, 1234.0), 1e-4);
+}
+
+TEST(Goertzel, EmptySignalIsZero) {
+  EXPECT_EQ(goertzel_power({}, 44100.0, 440.0), 0.0);
+}
+
+TEST(MeanPower, MatchesAnalyticSine) {
+  const auto s = sine(100.0, 8000.0, 8000, 0.6);
+  EXPECT_NEAR(mean_power(s), 0.5 * 0.36, 1e-4);
+}
+
+TEST(ToneSnr, CleanToneVeryHigh) {
+  const auto s = sine(440.0, 44100.0, 44100);
+  EXPECT_GT(tone_snr_db(s, 44100.0, 440.0), 40.0);
+}
+
+TEST(ToneSnr, KnownNoiseLevel) {
+  SplitMix64 rng(3);
+  auto s = sine(440.0, 44100.0, 44100);
+  // Add white noise with power ~1/100 of the tone's 0.5.
+  const double sigma = std::sqrt(0.005);
+  for (double& v : s)
+    v += sigma * (rng.uniform01() + rng.uniform01() + rng.uniform01() +
+                  rng.uniform01() - 2.0) *
+         1.7320508;  // ~N(0,1) via CLT, scaled
+  const double snr = tone_snr_db(s, 44100.0, 440.0);
+  EXPECT_NEAR(snr, 20.0, 2.0);
+}
+
+TEST(ToneSnr, SkipDropsTransient) {
+  auto s = sine(440.0, 44100.0, 44100);
+  // Corrupt the first 1000 samples badly.
+  for (std::size_t i = 0; i < 1000; ++i) s[i] = 5.0;
+  EXPECT_LT(tone_snr_db(s, 44100.0, 440.0), 10.0);
+  EXPECT_GT(tone_snr_db(s, 44100.0, 440.0, 1000), 40.0);
+}
+
+TEST(RemoveDc, CentersSignal) {
+  std::vector<double> s{1.0, 2.0, 3.0};
+  remove_dc(s);
+  EXPECT_NEAR(s[0], -1.0, 1e-12);
+  EXPECT_NEAR(s[1], 0.0, 1e-12);
+  EXPECT_NEAR(s[2], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace acc::radio

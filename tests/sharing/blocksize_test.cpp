@@ -1,0 +1,198 @@
+#include "sharing/blocksize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sharing/analysis.hpp"
+
+namespace acc::sharing {
+namespace {
+
+SharedSystemSpec pal_like_system() {
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1, 1};
+  sys.chain.entry_cycles_per_sample = 15;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {
+      {"ch1.stage1", Rational(28224, 1000000), 4100},
+      {"ch2.stage1", Rational(28224, 1000000), 4100},
+      {"ch1.stage2", Rational(3528, 1000000), 4100},
+      {"ch2.stage2", Rational(3528, 1000000), 4100},
+  };
+  return sys;
+}
+
+TEST(BlockSize, FixpointSolvesPalLikeSystem) {
+  const BlockSizeResult r = solve_block_sizes_fixpoint(pal_like_system());
+  ASSERT_TRUE(r.feasible);
+  ASSERT_EQ(r.eta.size(), 4u);
+  // Symmetric streams get identical blocks.
+  EXPECT_EQ(r.eta[0], r.eta[1]);
+  EXPECT_EQ(r.eta[2], r.eta[3]);
+  // Stage-1 streams run 8x faster, so their blocks are ~8x larger (exact
+  // 8:1 in the real relaxation; integer ceiling may perturb by <= 1 ulp).
+  EXPECT_NEAR(static_cast<double>(r.eta[0]) / static_cast<double>(r.eta[2]),
+              8.0, 0.01);
+  EXPECT_TRUE(throughput_met(pal_like_system(), r.eta));
+}
+
+TEST(BlockSize, IlpAgreesWithFixpoint) {
+  const SharedSystemSpec sys = pal_like_system();
+  const BlockSizeResult fp = solve_block_sizes_fixpoint(sys);
+  const BlockSizeResult ilp = solve_block_sizes_ilp(sys);
+  ASSERT_TRUE(fp.feasible);
+  ASSERT_TRUE(ilp.feasible);
+  EXPECT_EQ(fp.eta, ilp.eta);
+  EXPECT_EQ(fp.total_eta, ilp.total_eta);
+  EXPECT_EQ(fp.gamma, ilp.gamma);
+}
+
+TEST(BlockSize, InfeasibleWhenUtilizationAtLeastOne) {
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1};
+  sys.chain.entry_cycles_per_sample = 10;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"a", Rational(1, 15), 100}, {"b", Rational(1, 15), 100}};
+  // utilization = 10 * 2/15 = 4/3 >= 1.
+  EXPECT_GE(utilization(sys), Rational(1));
+  EXPECT_FALSE(solve_block_sizes_fixpoint(sys).feasible);
+  EXPECT_FALSE(solve_block_sizes_ilp(sys).feasible);
+}
+
+TEST(BlockSize, RelaxationLowerBoundsIntegerSolution) {
+  const SharedSystemSpec sys = pal_like_system();
+  const std::vector<Rational> relax = block_size_real_relaxation(sys);
+  const BlockSizeResult fp = solve_block_sizes_fixpoint(sys);
+  ASSERT_EQ(relax.size(), fp.eta.size());
+  for (std::size_t s = 0; s < relax.size(); ++s) {
+    EXPECT_GE(Rational(fp.eta[s]), relax[s]);
+    // Integer solution stays close to the relaxation (within the ceiling
+    // feedback amplification).
+    EXPECT_LE(fp.eta[s] - relax[s].ceil(), fp.eta[s] / 10 + 16);
+  }
+}
+
+TEST(BlockSize, RelaxationSatisfiesBalanceEquation) {
+  const SharedSystemSpec sys = pal_like_system();
+  const std::vector<Rational> relax = block_size_real_relaxation(sys);
+  // X = gamma at the real fixed point; eta_s = mu_s * X must satisfy
+  // X = sum R + c0*(sum eta + T*|S|) exactly.
+  const Rational c0(bottleneck_cycles_per_sample(sys.chain));
+  const Rational tail(pipeline_tail(sys.chain));
+  Rational sum_eta(0);
+  for (const Rational& e : relax) sum_eta += e;
+  Rational x = Rational(4 * 4100) + c0 * (sum_eta + tail * Rational(4));
+  EXPECT_EQ(relax[0], sys.streams[0].mu * x);
+  EXPECT_EQ(relax[2], sys.streams[2].mu * x);
+}
+
+TEST(BlockSize, SolutionIsMinimalPerComponent) {
+  // Decrementing any stream's block must break feasibility (least fixed
+  // point = component-wise minimum).
+  const SharedSystemSpec sys = pal_like_system();
+  const BlockSizeResult fp = solve_block_sizes_fixpoint(sys);
+  for (std::size_t s = 0; s < fp.eta.size(); ++s) {
+    if (fp.eta[s] <= 1) continue;
+    std::vector<std::int64_t> etas = fp.eta;
+    etas[s] -= 1;
+    EXPECT_FALSE(throughput_met(sys, etas)) << "stream " << s;
+  }
+}
+
+TEST(BlockSize, SingleStreamClosedForm) {
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1};
+  sys.chain.entry_cycles_per_sample = 2;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s", Rational(1, 4), 6}};
+  // gamma(eta) = 6 + (eta+2)*2 = 10 + 2*eta; eta >= (10+2*eta)/4
+  // -> 2*eta >= 10 -> eta = 5, gamma = 20.
+  const BlockSizeResult fp = solve_block_sizes_fixpoint(sys);
+  ASSERT_TRUE(fp.feasible);
+  EXPECT_EQ(fp.eta, (std::vector<std::int64_t>{5}));
+  EXPECT_EQ(fp.gamma, 20);
+}
+
+// Property: on random feasible systems the two solvers agree and produce
+// the minimal feasible point.
+TEST(BlockSizeProperty, SolversAgreeOnRandomSystems) {
+  SplitMix64 rng(0xB10C);
+  int solved = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    SharedSystemSpec sys;
+    sys.chain.accel_cycles_per_sample = {rng.uniform(1, 4)};
+    sys.chain.entry_cycles_per_sample = rng.uniform(1, 8);
+    sys.chain.exit_cycles_per_sample = rng.uniform(1, 3);
+    const int n = static_cast<int>(rng.uniform(1, 4));
+    for (int s = 0; s < n; ++s) {
+      sys.streams.push_back({"s" + std::to_string(s),
+                             Rational(1, rng.uniform(20, 400)),
+                             rng.uniform(0, 500)});
+    }
+    const BlockSizeResult fp = solve_block_sizes_fixpoint(sys);
+    const BlockSizeResult ilp = solve_block_sizes_ilp(sys);
+    ASSERT_EQ(fp.feasible, ilp.feasible);
+    if (!fp.feasible) {
+      EXPECT_GE(utilization(sys), Rational(1));
+      continue;
+    }
+    ++solved;
+    EXPECT_EQ(fp.eta, ilp.eta) << "trial " << trial;
+    EXPECT_TRUE(throughput_met(sys, fp.eta));
+    // Component-wise minimality.
+    for (std::size_t s = 0; s < fp.eta.size(); ++s) {
+      if (fp.eta[s] <= 1) continue;
+      std::vector<std::int64_t> etas = fp.eta;
+      etas[s] -= 1;
+      EXPECT_FALSE(throughput_met(sys, etas));
+    }
+  }
+  EXPECT_GT(solved, 40);
+}
+
+TEST(BufferForStream, SmallSystemExactness) {
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1};
+  sys.chain.entry_cycles_per_sample = 2;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s", Rational(1, 4), 6}};
+  const BlockSizeResult fp = solve_block_sizes_fixpoint(sys);
+  ASSERT_TRUE(fp.feasible);
+  const StreamBufferResult buf =
+      min_buffers_for_stream(sys, 0, fp.eta, /*sample_period=*/4);
+  ASSERT_TRUE(buf.feasible);
+  // Buffers must at least hold one block.
+  EXPECT_GE(buf.alpha0, fp.eta[0]);
+  EXPECT_GE(buf.alpha3, fp.eta[0]);
+}
+
+TEST(BufferForStream, InfeasiblePeriodReported) {
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1};
+  sys.chain.entry_cycles_per_sample = 2;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s", Rational(1, 4), 6}};
+  // eta=1 gives gamma=12 > 4 cycles/sample: period 4 unreachable.
+  const StreamBufferResult buf = min_buffers_for_stream(sys, 0, {1}, 4);
+  EXPECT_FALSE(buf.feasible);
+}
+
+TEST(OptimalBlocks, NeverWorseThanMinimalBlocks) {
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1};
+  sys.chain.entry_cycles_per_sample = 2;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s", Rational(1, 4), 6}};
+  const BlockSizeResult fp = solve_block_sizes_fixpoint(sys);
+  ASSERT_TRUE(fp.feasible);
+  const StreamBufferResult at_min =
+      min_buffers_for_stream(sys, 0, fp.eta, 4);
+  ASSERT_TRUE(at_min.feasible);
+  const OptimalBlockResult best = optimal_blocks_for_buffers(sys, {4}, 6);
+  ASSERT_TRUE(best.feasible);
+  EXPECT_LE(best.total_buffer, at_min.total());
+  EXPECT_GE(best.eta[0], fp.eta[0]);  // never below the Algorithm-1 minimum
+}
+
+}  // namespace
+}  // namespace acc::sharing

@@ -1,0 +1,122 @@
+#include "sharing/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "accel/kernel.hpp"
+#include "sim/chain_builder.hpp"
+#include "sim/proc_tile.hpp"
+
+namespace acc::sharing {
+namespace {
+
+class Pass final : public accel::StreamKernel {
+ public:
+  void push(CQ16 s, std::vector<CQ16>& o) override { o.push_back(s); }
+  [[nodiscard]] std::vector<std::int32_t> save_state() const override {
+    return {};
+  }
+  void restore_state(std::span<const std::int32_t>) override {}
+  void reset() override {}
+  [[nodiscard]] std::size_t state_words() const override { return 0; }
+  [[nodiscard]] std::string name() const override { return "p"; }
+  [[nodiscard]] std::unique_ptr<StreamKernel> clone_fresh() const override {
+    return std::make_unique<Pass>();
+  }
+};
+
+std::vector<std::unique_ptr<accel::StreamKernel>> one_pass() {
+  std::vector<std::unique_ptr<accel::StreamKernel>> v;
+  v.push_back(std::make_unique<Pass>());
+  return v;
+}
+
+/// A live two-stream system whose trace must conform to its own model.
+TEST(Conformance, LiveSystemTraceConforms) {
+  SharedSystemSpec spec;
+  spec.chain.accel_cycles_per_sample = {1};
+  spec.chain.entry_cycles_per_sample = 2;
+  spec.chain.exit_cycles_per_sample = 1;
+  spec.streams = {{"s0", Rational(1, 16), 20}, {"s1", Rational(1, 16), 20}};
+  const std::vector<std::int64_t> etas{16, 16};
+
+  sim::System sys(4);
+  sim::ChainConfig cfg;
+  cfg.accel_cycles = {1};
+  cfg.epsilon = 2;
+  sim::GatewayChain chain = sim::build_gateway_chain(sys, cfg);
+  sim::TraceLog trace;
+  chain.entry->set_trace(&trace);
+
+  sim::CFifo& in0 = sys.add_fifo("in0", 64);
+  sim::CFifo& in1 = sys.add_fifo("in1", 64);
+  sim::CFifo& out0 = sys.add_fifo("out0", 1024, 0, 0);
+  sim::CFifo& out1 = sys.add_fifo("out1", 1024, 0, 0);
+  chain.add_stream({0, "s0", 16, 16, &in0, &out0, 20}, one_pass());
+  chain.add_stream({1, "s1", 16, 16, &in1, &out1, 20}, one_pass());
+  std::vector<sim::Flit> payload(128);
+  std::iota(payload.begin(), payload.end(), sim::Flit{1});
+  sys.add<sim::SourceTile>("src0", in0, payload, 16);
+  sys.add<sim::SourceTile>("src1", in1, payload, 16);
+  sys.run(128 * 16 + 4000);
+
+  const ConformanceReport rep = check_conformance(spec, etas, trace);
+  EXPECT_TRUE(rep.conforms);
+  EXPECT_GE(rep.blocks_checked, 14);
+  EXPECT_TRUE(rep.violations.empty());
+}
+
+TEST(Conformance, DetectsServiceTimeViolation) {
+  SharedSystemSpec spec;
+  spec.chain.accel_cycles_per_sample = {1};
+  spec.chain.entry_cycles_per_sample = 2;
+  spec.chain.exit_cycles_per_sample = 1;
+  spec.streams = {{"s0", Rational(1, 16), 20}};
+  // Hand-crafted trace: the block takes far longer than tau_hat.
+  sim::TraceLog trace;
+  trace.record(0, "gw", "admit", 0);
+  trace.record(100000, "gw", "block.done", 0);
+  const ConformanceReport rep = check_conformance(spec, {16}, trace);
+  EXPECT_FALSE(rep.conforms);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_EQ(rep.violations[0].rule, "tau_hat");
+}
+
+TEST(Conformance, DetectsOrphanCompletion) {
+  SharedSystemSpec spec;
+  spec.chain.accel_cycles_per_sample = {1};
+  spec.chain.entry_cycles_per_sample = 2;
+  spec.chain.exit_cycles_per_sample = 1;
+  spec.streams = {{"s0", Rational(1, 16), 20}};
+  sim::TraceLog trace;
+  trace.record(50, "gw", "block.done", 0);  // no admit
+  const ConformanceReport rep = check_conformance(spec, {16}, trace);
+  EXPECT_FALSE(rep.conforms);
+}
+
+TEST(Conformance, DetectsRoundRobinViolation) {
+  SharedSystemSpec spec;
+  spec.chain.accel_cycles_per_sample = {1};
+  spec.chain.entry_cycles_per_sample = 2;
+  spec.chain.exit_cycles_per_sample = 1;
+  spec.streams = {{"s0", Rational(1, 32), 20}, {"s1", Rational(1, 32), 20}};
+  sim::TraceLog trace;
+  // Stream 1 served twice between services of stream 0.
+  trace.record(0, "gw", "admit", 0);
+  trace.record(60, "gw", "block.done", 0);
+  trace.record(61, "gw", "admit", 1);
+  trace.record(120, "gw", "block.done", 1);
+  trace.record(121, "gw", "admit", 1);
+  trace.record(180, "gw", "block.done", 1);
+  trace.record(181, "gw", "admit", 0);
+  const ConformanceReport rep = check_conformance(spec, {8, 8}, trace);
+  EXPECT_FALSE(rep.conforms);
+  bool found = false;
+  for (const auto& v : rep.violations) found |= v.rule == "round_robin";
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace acc::sharing

@@ -1,0 +1,85 @@
+#include "sharing/maxplus_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sharing/analysis.hpp"
+#include "sharing/parametric.hpp"
+
+namespace acc::sharing {
+namespace {
+
+SharedSystemSpec paper_chain() {
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1};
+  sys.chain.entry_cycles_per_sample = 15;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s", Rational(1, 1000), 4100}};
+  return sys;
+}
+
+TEST(MaxPlusSchedule, CompletionMatchesClosedFormSchedule) {
+  const SharedSystemSpec sys = paper_chain();
+  const MaxPlusChain mc = build_maxplus_chain(sys, 0);
+  for (const std::int64_t eta : {1, 2, 3, 7, 32, 200}) {
+    EXPECT_EQ(mc.completion(eta), block_schedule(sys, 0, eta).completion)
+        << "eta=" << eta;
+  }
+}
+
+TEST(MaxPlusSchedule, EigenvalueIsBottleneckCost) {
+  const SharedSystemSpec sys = paper_chain();
+  const MaxPlusChain mc = build_maxplus_chain(sys, 0);
+  const auto ev = mc.eigenvalue();
+  ASSERT_TRUE(ev.has_value());
+  // Eq. 2's per-sample slope c0, now as a spectral property of the step
+  // matrix.
+  EXPECT_EQ(*ev, Rational(bottleneck_cycles_per_sample(sys.chain)));
+}
+
+TEST(MaxPlusSchedule, CyclicityProvesTheAffineLaw) {
+  const SharedSystemSpec sys = paper_chain();
+  const MaxPlusChain mc = build_maxplus_chain(sys, 0);
+  const auto cy = mc.cyclicity();
+  ASSERT_TRUE(cy.has_value());
+  // The empirical law from parametric_block_completion must agree with the
+  // algebraic one: growth per period == slope.
+  const ParametricCompletion law = parametric_block_completion(sys, 0);
+  EXPECT_EQ(Rational(cy->growth, cy->period), Rational(law.slope()));
+  // And beyond the transient, completion grows by exactly `growth` every
+  // `period` samples.
+  const std::int64_t base = cy->transient + 4;
+  EXPECT_EQ(mc.completion(base + cy->period),
+            mc.completion(base) + cy->growth);
+}
+
+// Property: on random chains the max-plus model, the closed-form schedule
+// and the empirical parameterization agree exactly.
+TEST(MaxPlusScheduleProperty, ThreeModelsAgree) {
+  SplitMix64 rng(0x3CA1E);
+  for (int trial = 0; trial < 40; ++trial) {
+    SharedSystemSpec sys;
+    const int accels = static_cast<int>(rng.uniform(1, 3));
+    sys.chain.accel_cycles_per_sample.clear();
+    for (int a = 0; a < accels; ++a)
+      sys.chain.accel_cycles_per_sample.push_back(rng.uniform(1, 6));
+    sys.chain.entry_cycles_per_sample = rng.uniform(1, 12);
+    sys.chain.exit_cycles_per_sample = rng.uniform(1, 4);
+    sys.chain.ni_capacity = rng.uniform(2, 4);
+    sys.streams = {{"s", Rational(1, 1000), rng.uniform(0, 200)}};
+
+    const MaxPlusChain mc = build_maxplus_chain(sys, 0);
+    for (int probe = 0; probe < 6; ++probe) {
+      const std::int64_t eta = rng.uniform(1, 120);
+      EXPECT_EQ(mc.completion(eta), block_schedule(sys, 0, eta).completion)
+          << "trial " << trial << " eta=" << eta;
+    }
+    const auto ev = mc.eigenvalue();
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(*ev, Rational(bottleneck_cycles_per_sample(sys.chain)))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace acc::sharing

@@ -1,0 +1,139 @@
+// Parameterized sweeps (TEST_P) over the architecture's parameter space:
+// every combination must satisfy the model-equality and bound invariants.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dataflow/executor.hpp"
+#include "sharing/analysis.hpp"
+#include "sharing/blocksize.hpp"
+#include "sharing/csdf_model.hpp"
+
+namespace acc::sharing {
+namespace {
+
+// ---- sweep 1: (epsilon, rho_A, reconfig, eta) grid -------------------
+
+using ChainParams = std::tuple<Time, Time, Time, std::int64_t>;
+
+class ChainSweep : public ::testing::TestWithParam<ChainParams> {};
+
+TEST_P(ChainSweep, CsdfExecutionEqualsAnalyticScheduleAndRespectsBound) {
+  const auto [epsilon, rho, reconfig, eta] = GetParam();
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {rho};
+  sys.chain.entry_cycles_per_sample = epsilon;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s", Rational(1, 1000), reconfig}};
+
+  const BlockSchedule sch = block_schedule(sys, 0, eta);
+  EXPECT_LE(sch.completion, tau_hat(sys, 0, eta));
+
+  CsdfModelOptions o;
+  o.eta = eta;
+  o.alpha0 = eta;
+  o.alpha3 = eta;
+  o.producer_period = 0;
+  o.consumer_period = 0;
+  CsdfStreamModel m = build_csdf_stream_model(sys, 0, o);
+  df::SelfTimedExecutor exec(m.graph);
+  const auto done = exec.run_until_firings(m.exit, eta);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, sch.completion);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridEpsRhoRetaEta, ChainSweep,
+    ::testing::Combine(::testing::Values<Time>(1, 2, 15),      // epsilon
+                       ::testing::Values<Time>(1, 3, 20),      // rho_A
+                       ::testing::Values<Time>(0, 100, 4100),  // R_s
+                       ::testing::Values<std::int64_t>(1, 7, 64)),  // eta
+    [](const ::testing::TestParamInfo<ChainParams>& info) {
+      return "eps" + std::to_string(std::get<0>(info.param)) + "_rho" +
+             std::to_string(std::get<1>(info.param)) + "_r" +
+             std::to_string(std::get<2>(info.param)) + "_eta" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// ---- sweep 2: stream-count x rate-spread grid for Algorithm 1 --------
+
+using SolverParams = std::tuple<int, std::int64_t>;
+
+class SolverSweep : public ::testing::TestWithParam<SolverParams> {};
+
+TEST_P(SolverSweep, IlpAndFixpointAgreeAndAreMinimal) {
+  const auto [num_streams, base_period] = GetParam();
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1, 1};
+  sys.chain.entry_cycles_per_sample = 5;
+  sys.chain.exit_cycles_per_sample = 1;
+  for (int s = 0; s < num_streams; ++s) {
+    // Geometric rate spread: stream s twice as slow as s-1.
+    sys.streams.push_back({"s" + std::to_string(s),
+                           Rational(1, base_period << s), 500});
+  }
+  if (utilization(sys) >= Rational(1)) {
+    EXPECT_FALSE(solve_block_sizes_fixpoint(sys).feasible);
+    EXPECT_FALSE(solve_block_sizes_ilp(sys).feasible);
+    return;
+  }
+  const BlockSizeResult fix = solve_block_sizes_fixpoint(sys);
+  const BlockSizeResult ilp = solve_block_sizes_ilp(sys);
+  ASSERT_TRUE(fix.feasible);
+  ASSERT_TRUE(ilp.feasible);
+  EXPECT_EQ(fix.eta, ilp.eta);
+  EXPECT_TRUE(throughput_met(sys, fix.eta));
+  for (std::size_t s = 0; s < fix.eta.size(); ++s) {
+    if (fix.eta[s] <= 1) continue;
+    std::vector<std::int64_t> dec = fix.eta;
+    dec[s] -= 1;
+    EXPECT_FALSE(throughput_met(sys, dec)) << "stream " << s;
+  }
+  // The real relaxation lower-bounds every component.
+  const std::vector<Rational> relax = block_size_real_relaxation(sys);
+  for (std::size_t s = 0; s < fix.eta.size(); ++s)
+    EXPECT_GE(Rational(fix.eta[s]), relax[s]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridStreamsPeriod, SolverSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6),
+                       ::testing::Values<std::int64_t>(12, 40, 160)),
+    [](const ::testing::TestParamInfo<SolverParams>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- sweep 3: buffer feasibility across periods and chunks -----------
+
+using BufferParams = std::tuple<Time, std::int64_t>;
+
+class BufferSweepP : public ::testing::TestWithParam<BufferParams> {};
+
+TEST_P(BufferSweepP, MinimumBuffersAreExactAndHoldABlock) {
+  const auto [period, chunk] = GetParam();
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1};
+  sys.chain.entry_cycles_per_sample = 2;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s", Rational(1, period), 10}};
+  const BlockSizeResult fix = solve_block_sizes_fixpoint(sys);
+  ASSERT_TRUE(fix.feasible);
+  const StreamBufferResult buf =
+      min_buffers_for_stream(sys, 0, fix.eta, period, chunk);
+  ASSERT_TRUE(buf.feasible) << "eta=" << fix.eta[0];
+  EXPECT_GE(buf.alpha0, fix.eta[0]);
+  EXPECT_GE(buf.alpha3, std::max(fix.eta[0], chunk));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridPeriodChunk, BufferSweepP,
+    ::testing::Combine(::testing::Values<Time>(6, 8, 12),
+                       ::testing::Values<std::int64_t>(1, 2, 4, 8)),
+    [](const ::testing::TestParamInfo<BufferParams>& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_c" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace acc::sharing

@@ -1,0 +1,80 @@
+#include "sharing/parametric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace acc::sharing {
+namespace {
+
+SharedSystemSpec paper_chain() {
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1};
+  sys.chain.entry_cycles_per_sample = 15;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"s", Rational(1, 1000), 4100}};
+  return sys;
+}
+
+TEST(Parametric, DerivesEquation2Structure) {
+  const SharedSystemSpec sys = paper_chain();
+  const ParametricCompletion p = parametric_block_completion(sys, 0);
+  // The derived slope IS the bottleneck per-sample cost c0 of Eq. 2.
+  EXPECT_EQ(p.slope(), bottleneck_cycles_per_sample(sys.chain));
+  // And the derived intercept stays below Eq. 2's conservative constant
+  // R + (tail)*c0.
+  EXPECT_LE(p.intercept(),
+            sys.streams[0].reconfig +
+                pipeline_tail(sys.chain) *
+                    bottleneck_cycles_per_sample(sys.chain));
+  EXPECT_GE(p.intercept(), sys.streams[0].reconfig);
+}
+
+TEST(Parametric, EvalExactForSmallAndLargeEta) {
+  const SharedSystemSpec sys = paper_chain();
+  const ParametricCompletion p = parametric_block_completion(sys, 0);
+  for (const std::int64_t eta : {1, 2, 3, 5, 17, 100, 10136, 1000000}) {
+    if (eta <= 20000) {
+      EXPECT_EQ(p.eval(eta), block_schedule(sys, 0, eta).completion)
+          << "eta=" << eta;
+    } else {
+      // Too large to enumerate a schedule — affine law applies.
+      EXPECT_EQ(p.eval(eta), p.slope() * eta + p.intercept());
+    }
+  }
+}
+
+TEST(Parametric, RejectsBadEta) {
+  const ParametricCompletion p = parametric_block_completion(paper_chain(), 0);
+  EXPECT_THROW((void)p.eval(0), precondition_error);
+}
+
+// Property: on random chains the derived slope equals c0 and eval matches
+// the schedule everywhere sampled.
+TEST(ParametricProperty, SlopeIsAlwaysBottleneckCost) {
+  SplitMix64 rng(0xAF1E);
+  for (int trial = 0; trial < 60; ++trial) {
+    SharedSystemSpec sys;
+    const int accels = static_cast<int>(rng.uniform(1, 3));
+    sys.chain.accel_cycles_per_sample.clear();
+    for (int a = 0; a < accels; ++a)
+      sys.chain.accel_cycles_per_sample.push_back(rng.uniform(1, 7));
+    sys.chain.entry_cycles_per_sample = rng.uniform(1, 16);
+    sys.chain.exit_cycles_per_sample = rng.uniform(1, 4);
+    sys.streams = {{"s", Rational(1, 1000), rng.uniform(0, 300)}};
+    const ParametricCompletion p = parametric_block_completion(sys, 0);
+    EXPECT_EQ(p.slope(), bottleneck_cycles_per_sample(sys.chain))
+        << "trial " << trial;
+    for (int probe = 0; probe < 8; ++probe) {
+      const std::int64_t eta = rng.uniform(1, 300);
+      EXPECT_EQ(p.eval(eta), block_schedule(sys, 0, eta).completion)
+          << "trial " << trial << " eta=" << eta;
+    }
+    // Eq. 2 remains an upper bound on the derived exact law.
+    for (const std::int64_t eta : {1L, 10L, 1000L})
+      EXPECT_LE(p.eval(eta), tau_hat(sys, 0, eta));
+  }
+}
+
+}  // namespace
+}  // namespace acc::sharing

@@ -1,0 +1,91 @@
+#include "sim/cfifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acc::sim {
+namespace {
+
+TEST(CFifo, PushVisibleToReaderAfterLag) {
+  CFifo f("t", 8, /*rlag=*/4, /*wlag=*/4);
+  f.push(0, 11);
+  EXPECT_EQ(f.fill_visible(0), 0);
+  EXPECT_EQ(f.fill_visible(3), 0);
+  EXPECT_EQ(f.fill_visible(4), 1);
+  EXPECT_EQ(f.pop(4), 11u);
+}
+
+TEST(CFifo, SpaceVisibleToWriterAfterLag) {
+  CFifo f("t", 2, 0, /*wlag=*/5);
+  f.push(0, 1);
+  f.push(0, 2);
+  EXPECT_FALSE(f.can_push(0));
+  (void)f.pop(1);
+  // The freed slot becomes writer-visible at cycle 6.
+  EXPECT_FALSE(f.can_push(5));
+  EXPECT_TRUE(f.can_push(6));
+}
+
+TEST(CFifo, ZeroLagBehavesLikePlainFifo) {
+  CFifo f("t", 3, 0, 0);
+  f.push(0, 1);
+  f.push(0, 2);
+  EXPECT_EQ(f.fill_visible(0), 2);
+  EXPECT_EQ(f.pop(0), 1u);
+  EXPECT_EQ(f.pop(0), 2u);
+  EXPECT_TRUE(f.can_push(0));
+}
+
+TEST(CFifo, PopWithoutDataThrows) {
+  CFifo f("t", 2, 3, 0);
+  f.push(0, 9);
+  EXPECT_THROW((void)f.pop(1), precondition_error);  // not visible yet
+  EXPECT_EQ(f.pop(3), 9u);
+  EXPECT_THROW((void)f.pop(10), precondition_error);  // empty
+}
+
+TEST(CFifo, PushWithoutSpaceThrows) {
+  CFifo f("t", 1, 0, 0);
+  f.push(0, 1);
+  EXPECT_THROW(f.push(0, 2), precondition_error);
+}
+
+TEST(CFifo, CountersAndPeak) {
+  CFifo f("t", 4, 0, 0);
+  for (int i = 0; i < 4; ++i) f.push(i, static_cast<Flit>(i));
+  EXPECT_EQ(f.peak_fill(), 4);
+  (void)f.pop(5);
+  (void)f.pop(5);
+  f.push(6, 9);
+  EXPECT_EQ(f.total_pushed(), 5);
+  EXPECT_EQ(f.total_popped(), 2);
+  EXPECT_EQ(f.true_fill(), 3);
+  EXPECT_EQ(f.peak_fill(), 4);
+}
+
+TEST(CFifo, OrderPreserved) {
+  CFifo f("t", 8, 2, 1);
+  for (Flit i = 0; i < 8; ++i) f.push(static_cast<Cycle>(i), 100 + i);
+  for (Flit i = 0; i < 8; ++i) EXPECT_EQ(f.pop(100), 100 + i);
+}
+
+TEST(CFifo, WriterViewIsConservativeNeverUnsafe) {
+  // Whatever the lags, the writer's space estimate never exceeds the true
+  // free space.
+  CFifo f("t", 4, 3, 7);
+  Cycle now = 0;
+  for (int step = 0; step < 200; ++step) {
+    now += 1;
+    if (f.can_push(now)) f.push(now, static_cast<Flit>(step));
+    if (step % 3 == 0 && f.can_pop(now)) (void)f.pop(now);
+    EXPECT_LE(f.space_visible(now), f.capacity() - f.true_fill());
+    EXPECT_LE(f.fill_visible(now), f.true_fill());
+  }
+}
+
+TEST(CFifo, InvalidConstruction) {
+  EXPECT_THROW(CFifo("t", 0), precondition_error);
+  EXPECT_THROW(CFifo("t", 1, -1, 0), precondition_error);
+}
+
+}  // namespace
+}  // namespace acc::sim

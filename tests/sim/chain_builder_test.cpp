@@ -1,0 +1,116 @@
+#include "sim/chain_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "accel/fir.hpp"
+#include "accel/mixer.hpp"
+#include "sim/proc_tile.hpp"
+
+namespace acc::sim {
+namespace {
+
+/// Identity kernel (no state).
+class Pass final : public accel::StreamKernel {
+ public:
+  void push(CQ16 in, std::vector<CQ16>& out) override { out.push_back(in); }
+  [[nodiscard]] std::vector<std::int32_t> save_state() const override {
+    return {};
+  }
+  void restore_state(std::span<const std::int32_t>) override {}
+  void reset() override {}
+  [[nodiscard]] std::size_t state_words() const override { return 0; }
+  [[nodiscard]] std::string name() const override { return "pass"; }
+  [[nodiscard]] std::unique_ptr<StreamKernel> clone_fresh() const override {
+    return std::make_unique<Pass>();
+  }
+};
+
+std::vector<std::unique_ptr<accel::StreamKernel>> passes(std::size_t n) {
+  std::vector<std::unique_ptr<accel::StreamKernel>> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(std::make_unique<Pass>());
+  return v;
+}
+
+TEST(ChainBuilder, SingleChainEndToEnd) {
+  System sys(5);
+  ChainConfig cfg;
+  cfg.base_node = 0;
+  cfg.accel_cycles = {1, 1, 1};  // three accelerators in the chain
+  cfg.epsilon = 2;
+  GatewayChain chain = build_gateway_chain(sys, cfg);
+  ASSERT_EQ(chain.accels.size(), 3u);
+  EXPECT_EQ(chain.nodes_used(), 5);
+
+  CFifo& in = sys.add_fifo("in", 64);
+  CFifo& out = sys.add_fifo("out", 256, 0, 0);
+  chain.add_stream({0, "s", 16, 16, &in, &out, /*reconfig=*/10}, passes(3));
+
+  std::vector<Flit> payload(64);
+  std::iota(payload.begin(), payload.end(), Flit{100});
+  sys.add<SourceTile>("src", in, payload, 8);
+  sys.run(64 * 8 + 4000);
+
+  ASSERT_EQ(out.true_fill(), 64);
+  for (Flit i = 0; i < 64; ++i) EXPECT_EQ(out.pop(sys.now()), 100 + i);
+  EXPECT_EQ(chain.entry->stats().blocks, 4);
+}
+
+TEST(ChainBuilder, TwoChainsShareOneRing) {
+  System sys(8);
+  ChainConfig c1;
+  c1.name = "c1";
+  c1.base_node = 0;
+  c1.accel_cycles = {1};
+  c1.epsilon = 2;
+  ChainConfig c2;
+  c2.name = "c2";
+  c2.base_node = 3;  // after c1's 3 nodes
+  c2.accel_cycles = {1, 1};
+  c2.epsilon = 2;
+  GatewayChain g1 = build_gateway_chain(sys, c1);
+  GatewayChain g2 = build_gateway_chain(sys, c2);
+
+  CFifo& in1 = sys.add_fifo("in1", 64);
+  CFifo& out1 = sys.add_fifo("out1", 256, 0, 0);
+  CFifo& in2 = sys.add_fifo("in2", 64);
+  CFifo& out2 = sys.add_fifo("out2", 256, 0, 0);
+  g1.add_stream({0, "s1", 8, 8, &in1, &out1, 10}, passes(1));
+  g2.add_stream({0, "s2", 8, 8, &in2, &out2, 10}, passes(2));
+
+  std::vector<Flit> p1(32);
+  std::vector<Flit> p2(32);
+  std::iota(p1.begin(), p1.end(), Flit{1000});
+  std::iota(p2.begin(), p2.end(), Flit{2000});
+  sys.add<SourceTile>("src1", in1, p1, 8);
+  sys.add<SourceTile>("src2", in2, p2, 8);
+  sys.run(32 * 8 + 4000);
+
+  EXPECT_EQ(out1.true_fill(), 32);
+  EXPECT_EQ(out2.true_fill(), 32);
+  for (Flit i = 0; i < 32; ++i) EXPECT_EQ(out1.pop(sys.now()), 1000 + i);
+  for (Flit i = 0; i < 32; ++i) EXPECT_EQ(out2.pop(sys.now()), 2000 + i);
+}
+
+TEST(ChainBuilder, RejectsOversizedChain) {
+  System sys(3);
+  ChainConfig cfg;
+  cfg.accel_cycles = {1, 1};  // needs 4 nodes, ring has 3
+  EXPECT_THROW((void)build_gateway_chain(sys, cfg), precondition_error);
+}
+
+TEST(ChainBuilder, KernelArityEnforced) {
+  System sys(4);
+  ChainConfig cfg;
+  cfg.accel_cycles = {1, 1};
+  GatewayChain chain = build_gateway_chain(sys, cfg);
+  CFifo& in = sys.add_fifo("in", 16);
+  CFifo& out = sys.add_fifo("out", 16);
+  EXPECT_THROW(
+      chain.add_stream({0, "s", 4, 4, &in, &out, 5}, passes(1)),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace acc::sim

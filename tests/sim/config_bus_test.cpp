@@ -1,0 +1,61 @@
+#include "sim/config_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accel/fir.hpp"
+#include "accel/mixer.hpp"
+#include "sim/system.hpp"
+
+namespace acc::sim {
+namespace {
+
+TEST(ConfigBus, CostFromExplicitWordCounts) {
+  ConfigBusSpec bus;
+  bus.setup_cycles = 100;
+  bus.cycles_per_word = 2;
+  const std::size_t words[] = {10, 5};
+  // 100 + 2*(2*10) + 2*(2*5) = 100 + 40 + 20.
+  EXPECT_EQ(context_switch_cost(bus, words), 160);
+}
+
+TEST(ConfigBus, CostFromLiveTiles) {
+  System sys(4);
+  auto& cordic = sys.add<AcceleratorTile>("c", sys.ring(), 1, 1, 2);
+  cordic.register_context(
+      0, std::make_unique<accel::NcoMixer>(
+             accel::NcoMixer::freq_from_normalized(0.1)));
+  auto& fir = sys.add<AcceleratorTile>("f", sys.ring(), 2, 1, 2);
+  fir.register_context(
+      0, std::make_unique<accel::DecimatingFir>(
+             accel::quantize_taps(accel::design_lowpass(33, 0.06)), 8));
+  ConfigBusSpec bus;
+  bus.setup_cycles = 50;
+  bus.cycles_per_word = 1;
+  AcceleratorTile* chain[] = {&cordic, &fir};
+  // Mixer state: 1 word. FIR state: 2 + 2*33 = 68 words.
+  EXPECT_EQ(cordic.context_words(), 1u);
+  EXPECT_EQ(fir.context_words(), 68u);
+  EXPECT_EQ(context_switch_cost(bus, chain), 50 + 2 * 1 + 2 * 68);
+}
+
+TEST(ConfigBus, HardwareDmaVsSoftwareScale) {
+  // The paper's published flat cost (4100) sits between a 1-word/cycle DMA
+  // and a slow software loop for the case-study state footprint (the FIR's
+  // 68 words + mixer's 1 word per context).
+  const std::size_t words[] = {1, 68};
+  ConfigBusSpec dma{/*setup=*/20, /*per word=*/1};
+  ConfigBusSpec software{/*setup=*/2000, /*per word=*/30};
+  EXPECT_LT(context_switch_cost(dma, words), 4100);
+  EXPECT_GT(context_switch_cost(software, words), 4100);
+}
+
+TEST(ConfigBus, NullTileRejected) {
+  ConfigBusSpec bus;
+  AcceleratorTile* chain[] = {nullptr};
+  EXPECT_THROW((void)context_switch_cost(bus, chain), precondition_error);
+}
+
+}  // namespace
+}  // namespace acc::sim

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "accel/kernel.hpp"
+
+#include "sim/gateway.hpp"
+#include "sim/proc_tile.hpp"
+#include "sim/system.hpp"
+
+namespace acc::sim {
+namespace {
+
+TEST(Jitter, EmissionTimesStayOnJitteredGrid) {
+  System sys(2);
+  CFifo& f = sys.add_fifo("f", 1024, 0, 0);
+  std::vector<Flit> data(64, 1);
+  auto& src = sys.add<SourceTile>("src", f, data, /*period=*/10);
+  src.set_jitter(/*max_jitter=*/4, /*seed=*/42);
+  // Record arrival times by polling the fifo every cycle.
+  std::vector<Cycle> arrivals;
+  for (Cycle t = 0; t < 700; ++t) {
+    sys.run(1);
+    while (f.can_pop(sys.now())) {
+      arrivals.push_back(sys.now());
+      (void)f.pop(sys.now());
+    }
+  }
+  ASSERT_EQ(arrivals.size(), 64u);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Cycle nominal = static_cast<Cycle>(i) * 10;
+    EXPECT_GE(arrivals[i], nominal) << i;
+    // +1 slack: arrival observed one cycle after the emitting tick.
+    EXPECT_LE(arrivals[i], nominal + 4 + 1) << i;
+  }
+}
+
+TEST(Jitter, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    System sys(2);
+    CFifo& f = sys.add_fifo("f", 1024, 0, 0);
+    std::vector<Flit> data(32, 1);
+    auto& src = sys.add<SourceTile>("src", f, data, 8);
+    src.set_jitter(5, seed);
+    std::vector<Cycle> arrivals;
+    for (Cycle t = 0; t < 400; ++t) {
+      sys.run(1);
+      while (f.can_pop(sys.now())) {
+        arrivals.push_back(sys.now());
+        (void)f.pop(sys.now());
+      }
+    }
+    return arrivals;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Jitter, ZeroJitterMatchesStrictPeriodicity) {
+  System sys(2);
+  CFifo& f = sys.add_fifo("f", 1024, 0, 0);
+  std::vector<Flit> data(16, 1);
+  auto& src = sys.add<SourceTile>("src", f, data, 5);
+  src.set_jitter(0);
+  sys.run(100);
+  EXPECT_EQ(src.emitted(), 16);
+  EXPECT_EQ(src.nominal_emit_time(3), 15);
+}
+
+TEST(Jitter, GatewaySystemAbsorbsBoundedJitter) {
+  // A jittery front end must not break the real-time verdict as long as
+  // the input buffer holds the slack: admission is purely data-driven.
+  System sys(4);
+  CFifo& in = sys.add_fifo("in", 128);
+  CFifo& out = sys.add_fifo("out", 1024, 0, 0);
+  // Minimal single-stream chain via raw components (passthrough kernel).
+  class Pass final : public accel::StreamKernel {
+   public:
+    void push(CQ16 s, std::vector<CQ16>& o) override { o.push_back(s); }
+    [[nodiscard]] std::vector<std::int32_t> save_state() const override {
+      return {};
+    }
+    void restore_state(std::span<const std::int32_t>) override {}
+    void reset() override {}
+    [[nodiscard]] std::size_t state_words() const override { return 0; }
+    [[nodiscard]] std::string name() const override { return "p"; }
+    [[nodiscard]] std::unique_ptr<StreamKernel> clone_fresh() const override {
+      return std::make_unique<Pass>();
+    }
+  };
+  auto& acc_tile = sys.add<AcceleratorTile>("a", sys.ring(), 1, 1, 2);
+  acc_tile.register_context(0, std::make_unique<Pass>());
+  acc_tile.set_upstream(0, 1);
+  acc_tile.set_downstream(3, 2, 2);
+  auto& exit = sys.add<ExitGateway>("x", sys.ring(), 3, 1, 2);
+  exit.set_upstream(1, 1);
+  auto& entry = sys.add<EntryGateway>("e", sys.ring(), 0, 2, 1, 1, 2);
+  entry.set_chain({&acc_tile});
+  entry.set_exit(&exit);
+  exit.set_entry(&entry);
+  entry.add_stream({0, "s", 16, 16, &in, &out, 20});
+
+  std::vector<Flit> payload(256);
+  std::iota(payload.begin(), payload.end(), Flit{1});
+  auto& src = sys.add<SourceTile>("src", in, payload, /*period=*/12);
+  src.set_jitter(/*max_jitter=*/11, /*seed=*/3);  // a full period of jitter
+  sys.run(256 * 12 + 4000);
+
+  EXPECT_EQ(src.dropped(), 0);
+  ASSERT_EQ(out.true_fill(), 256);
+  for (Flit i = 0; i < 256; ++i) EXPECT_EQ(out.pop(sys.now()), 1 + i);
+}
+
+}  // namespace
+}  // namespace acc::sim

@@ -1,0 +1,129 @@
+#include "sim/ring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace acc::sim {
+namespace {
+
+TEST(Ring, DeliversToDestination) {
+  Ring ring(4, true);
+  RingMsg m;
+  m.dst = 2;
+  m.payload = 42;
+  ASSERT_TRUE(ring.try_inject(0, m));
+  // Injection happens on the first tick; transit 0->1->2 takes two more.
+  std::vector<RingMsg> got;
+  for (int t = 0; t < 4 && got.empty(); ++t) {
+    ring.tick();
+    got = ring.drain(2);
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, 42u);
+  EXPECT_EQ(ring.delivered(), 1);
+}
+
+TEST(Ring, LatencyEqualsHopDistance) {
+  Ring ring(6, true);
+  RingMsg m;
+  m.dst = 4;
+  ASSERT_TRUE(ring.try_inject(1, m));
+  int ticks = 0;
+  while (ring.drain(4).empty()) {
+    ring.tick();
+    ++ticks;
+    ASSERT_LE(ticks, 12);
+  }
+  // 1 tick to enter the slot at node 1, then 3 hops 1->2->3->4.
+  EXPECT_EQ(ticks, 4);
+}
+
+TEST(Ring, CounterClockwiseTravelsTheOtherWay) {
+  Ring cw(8, true);
+  Ring ccw(8, false);
+  RingMsg m;
+  m.dst = 7;
+  ASSERT_TRUE(cw.try_inject(0, m));
+  ASSERT_TRUE(ccw.try_inject(0, m));
+  int cw_ticks = 0;
+  while (cw.drain(7).empty()) {
+    cw.tick();
+    ++cw_ticks;
+  }
+  int ccw_ticks = 0;
+  while (ccw.drain(7).empty()) {
+    ccw.tick();
+    ++ccw_ticks;
+  }
+  EXPECT_EQ(cw_ticks, 8);   // 0 -> 1 -> ... -> 7
+  EXPECT_EQ(ccw_ticks, 2);  // 0 -> 7 directly
+}
+
+TEST(Ring, InjectionQueueBounded) {
+  Ring ring(2, true);
+  RingMsg m;
+  m.dst = 1;
+  int accepted = 0;
+  while (ring.try_inject(0, m)) ++accepted;
+  EXPECT_EQ(accepted, 8);  // posted-write acceptance is finite
+  ring.tick();
+  EXPECT_TRUE(ring.try_inject(0, m));  // drained one slot
+}
+
+TEST(Ring, ManyMessagesAllArriveInOrder) {
+  Ring ring(4, true);
+  std::vector<std::uint64_t> sent;
+  std::vector<std::uint64_t> got;
+  std::uint64_t next = 1;
+  for (int t = 0; t < 200; ++t) {
+    RingMsg m;
+    m.dst = 3;
+    m.payload = next;
+    if (ring.try_inject(1, m)) {
+      sent.push_back(next);
+      ++next;
+    }
+    ring.tick();
+    for (const RingMsg& r : ring.drain(3)) got.push_back(r.payload);
+  }
+  for (int t = 0; t < 16; ++t) {
+    ring.tick();
+    for (const RingMsg& r : ring.drain(3)) got.push_back(r.payload);
+  }
+  EXPECT_EQ(got, sent);  // single source: FIFO order preserved
+  EXPECT_GT(got.size(), 100u);
+}
+
+TEST(Ring, InvalidNodesRejected) {
+  Ring ring(4, true);
+  RingMsg bad;
+  bad.dst = 9;
+  EXPECT_THROW((void)ring.try_inject(0, bad), precondition_error);
+  RingMsg ok;
+  ok.dst = 1;
+  EXPECT_THROW((void)ring.try_inject(-1, ok), precondition_error);
+  EXPECT_THROW((void)ring.drain(11), precondition_error);
+}
+
+TEST(DualRing, DataAndCreditIndependent) {
+  DualRing dr(4);
+  RingMsg d;
+  d.dst = 2;
+  d.payload = 7;
+  RingMsg c;
+  c.dst = 0;
+  ASSERT_TRUE(dr.data().try_inject(0, d));
+  ASSERT_TRUE(dr.credit().try_inject(2, c));
+  for (int i = 0; i < 4; ++i) dr.tick();
+  EXPECT_EQ(dr.data().drain(2).size(), 1u);
+  EXPECT_EQ(dr.credit().drain(0).size(), 1u);
+}
+
+TEST(Flit, PackUnpackRoundTrip) {
+  const CQ16 s{Q16::from_double(1.2345), Q16::from_double(-0.777)};
+  EXPECT_EQ(unpack_sample(pack_sample(s)), s);
+  const CQ16 neg{Q16::from_raw(-1), Q16::from_raw(INT32_MIN)};
+  EXPECT_EQ(unpack_sample(pack_sample(neg)), neg);
+}
+
+}  // namespace
+}  // namespace acc::sim
