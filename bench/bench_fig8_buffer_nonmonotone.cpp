@@ -12,6 +12,8 @@
 //       remainders misaligned with the consumer's chunk make SMALLER blocks
 //       need LARGER buffers, the paper's headline observation
 //       (its Fig. 8(b): alpha(2)=6 > alpha(5)=5).
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/table.hpp"
@@ -19,17 +21,28 @@
 #include "dataflow/graph.hpp"
 #include "sharing/nonmonotone.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acc;
   using namespace acc::sharing;
 
-  std::cout << "=== Fig. 8: non-monotone minimum buffer capacity vs block size ===\n\n";
+  // --jobs N: DSE worker threads for the sweeps (results are identical for
+  // any value; see docs/analysis.md).
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      jobs = std::atoi(argv[++i]);
+  }
+  df::DseStats stats;
+
+  std::cout << "=== Fig. 8: non-monotone minimum buffer capacity vs block size ===\n";
+  std::cout << "(DSE engine: " << (jobs == 0 ? "hw" : std::to_string(jobs))
+            << " worker thread(s))\n\n";
 
   std::cout << "(a) baseline two-actor sweep (producer dur 1 -> consumer "
                "dur 5 consuming eta): MONOTONE\n";
   Table base({"eta", "max throughput", "min capacity"});
   std::vector<std::int64_t> base_caps;
-  for (const BufferSweepPoint& p : two_actor_buffer_sweep(1, 5, 1, 8)) {
+  for (const BufferSweepPoint& p : two_actor_buffer_sweep(1, 5, 1, 8, jobs, &stats)) {
     base.add_row({std::to_string(p.eta), p.max_throughput.str(),
                   std::to_string(p.min_capacity)});
     base_caps.push_back(p.min_capacity);
@@ -42,7 +55,7 @@ int main() {
                "at sample period 3:\n";
   Table nm({"eta", "min capacity", "note"});
   std::vector<std::int64_t> caps;
-  const auto pts = chunked_consumer_buffer_sweep(6, 1, 3, 4, 3, 16);
+  const auto pts = chunked_consumer_buffer_sweep(6, 1, 3, 4, 3, 16, jobs, &stats);
   for (const BufferSweepPoint& p : pts) {
     std::string note;
     if (p.min_capacity < 0) {
@@ -63,7 +76,7 @@ int main() {
   Table nm8({"eta", "min capacity"});
   std::vector<std::int64_t> caps8;
   for (const BufferSweepPoint& p :
-       chunked_consumer_buffer_sweep(10, 1, 2, 8, 10, 24)) {
+       chunked_consumer_buffer_sweep(10, 1, 2, 8, 10, 24, jobs, &stats)) {
     nm8.add_row({std::to_string(p.eta),
                  p.min_capacity < 0 ? "-" : std::to_string(p.min_capacity)});
     if (p.min_capacity >= 0) caps8.push_back(p.min_capacity);
@@ -88,11 +101,42 @@ int main() {
     std::cout << ps.render();
   }
 
+  std::cout << "\n(e) the real gateway system: minimum alpha0+alpha3 vs "
+               "forced eta (two-buffer staircase search):\n";
+  {
+    SharedSystemSpec sys;
+    sys.chain.accel_cycles_per_sample = {1};
+    sys.chain.entry_cycles_per_sample = 2;
+    sys.chain.exit_cycles_per_sample = 1;
+    sys.streams = {{"s", Rational(1, 8), 10}};
+    Table gw({"eta", "alpha0", "alpha3", "total"});
+    for (const GatewayBufferPoint& p :
+         gateway_buffer_sweep(sys, 0, 8, 2, 6, jobs, &stats)) {
+      gw.add_row({std::to_string(p.eta),
+                  p.feasible ? std::to_string(p.alpha0) : "-",
+                  p.feasible ? std::to_string(p.alpha3) : "-",
+                  p.feasible ? std::to_string(p.total()) : "infeasible"});
+    }
+    std::cout << gw.render();
+  }
+
   std::cout << "\npaper Fig. 8(b) reference table: eta in {1..5} -> alpha in "
                "{5,6,7,8,5} (their model; see EXPERIMENTS.md)\n";
   std::cout << "conclusion matches the paper: minimizing block sizes does "
                "NOT generally minimize buffer capacities\n";
-  return nonmono && is_non_monotone(caps8) && !is_non_monotone(base_caps)
+
+  std::cout << "\nDSE engine counters over all sweeps: "
+            << stats.simulations << " simulations, "
+            << stats.cache_hits << " cache hits ("
+            << static_cast<int>(stats.cache_hit_rate() * 100.0)
+            << "%), " << stats.pruned()
+            << " candidates answered by monotone pruning\n";
+  const bool engine_worked =
+      stats.simulations > 0 && stats.cache_hits > 0 && stats.pruned() > 0;
+  if (!engine_worked)
+    std::cout << "ERROR: expected cache hits and pruning wins > 0\n";
+  return nonmono && is_non_monotone(caps8) && !is_non_monotone(base_caps) &&
+                 engine_worked
              ? 0
              : 1;
 }

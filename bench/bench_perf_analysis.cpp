@@ -4,11 +4,21 @@
 // interactive-speed and reports the simulator's cycles/second.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
 #include "dataflow/buffer_sizing.hpp"
 #include "dataflow/executor.hpp"
 #include "dataflow/hsdf.hpp"
 #include "sharing/blocksize.hpp"
 #include "sharing/csdf_model.hpp"
+#include "sharing/nonmonotone.hpp"
 #include "sim/gateway.hpp"
 #include "sim/proc_tile.hpp"
 #include "sim/system.hpp"
@@ -87,12 +97,13 @@ void BM_BufferSizing(benchmark::State& state) {
   sys.streams = {{"s", Rational(1, 8), 10}};
   const sharing::BlockSizeResult blocks =
       sharing::solve_block_sizes_fixpoint(sys);
+  const int jobs = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sharing::min_buffers_for_stream(sys, 0, blocks.eta, 8));
+    benchmark::DoNotOptimize(sharing::min_buffers_for_stream(
+        sys, 0, blocks.eta, 8, /*consumer_chunk=*/1, jobs));
   }
 }
-BENCHMARK(BM_BufferSizing);
+BENCHMARK(BM_BufferSizing)->Arg(1)->Arg(4);
 
 void BM_CsdfModelExecution(benchmark::State& state) {
   sharing::SharedSystemSpec sys;
@@ -157,6 +168,96 @@ void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCyclesPerSecond);
 
+/// One timed run of the DSE workload (the chunked-consumer Fig. 8 sweep
+/// plus the two-buffer gateway sizing) at a given worker count.
+json::Object dse_run(int jobs) {
+  df::DseStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  (void)sharing::chunked_consumer_buffer_sweep(6, 1, 3, 4, 3, 16, jobs,
+                                               &stats);
+  sharing::SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {1, 1};
+  sys.chain.entry_cycles_per_sample = 2;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"fast", Rational(1, 8), 20}, {"slow", Rational(1, 64), 20}};
+  const sharing::BlockSizeResult blocks =
+      sharing::solve_block_sizes_fixpoint(sys);
+  for (std::size_t s = 0; s < sys.num_streams(); ++s) {
+    const df::Time period = s == 0 ? 8 : 64;
+    (void)sharing::min_buffers_for_stream(sys, s, blocks.eta, period,
+                                          /*consumer_chunk=*/1, jobs, &stats);
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  json::Object run;
+  run["jobs"] = jobs;
+  run["wall_ms"] = wall_ms;
+  run["simulations"] = stats.simulations;
+  run["cache_hits"] = stats.cache_hits;
+  run["cache_misses"] = stats.cache_misses;
+  run["cache_hit_rate"] = stats.cache_hit_rate();
+  run["pruned_infeasible"] = stats.pruned_infeasible;
+  run["pruned_feasible"] = stats.pruned_feasible;
+  return run;
+}
+
+/// Machine-readable perf trajectory of the DSE engine: BENCH_dse.json with
+/// wall time, simulation count, cache hit rate and pruning wins for jobs=1
+/// and jobs=N (--jobs, default 4).
+void emit_dse_json(int jobs, const std::string& path) {
+  json::Object doc;
+  doc["bench"] = "dse";
+  doc["hardware_threads"] =
+      static_cast<std::int64_t>(ThreadPool::hardware_threads());
+  json::Array runs;
+  runs.push_back(json::Value(dse_run(1)));
+  if (jobs != 1) runs.push_back(json::Value(dse_run(jobs)));
+  doc["runs"] = std::move(runs);
+
+  std::ofstream out(path);
+  out << json::Value(doc).pretty() << "\n";
+  out.flush();
+  if (out)
+    std::cout << "wrote " << path << "\n";
+  else
+    std::cout << "WARNING: could not write " << path << "\n";
+  for (const json::Value& r : doc.at("runs").as_array()) {
+    std::cout << "  dse workload, jobs=" << r.at("jobs").as_int() << ": "
+              << r.at("wall_ms").as_double() << " ms, "
+              << r.at("simulations").as_int() << " simulations, cache hit rate "
+              << r.at("cache_hit_rate").as_double() << ", pruned "
+              << (r.at("pruned_infeasible").as_int() +
+                  r.at("pruned_feasible").as_int())
+              << "\n";
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our flags before google-benchmark parses the rest.
+  int jobs = 4;
+  std::string json_path = "BENCH_dse.json";
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dse-json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  emit_dse_json(jobs, json_path);
+
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

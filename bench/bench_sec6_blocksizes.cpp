@@ -9,9 +9,12 @@
 // so we sweep plausible clocks around 100 MHz; the SHAPE is what must
 // reproduce: feasibility, the exact 8:1 ratio of the real relaxation, and
 // blocks of the same order of magnitude.
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/table.hpp"
+#include "dataflow/buffer_sizing.hpp"
 #include "sharing/analysis.hpp"
 #include "sharing/blocksize.hpp"
 
@@ -41,9 +44,16 @@ acc::sharing::SharedSystemSpec pal_spec(double clock_hz) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acc;
   using namespace acc::sharing;
+
+  // --jobs N: DSE worker threads for the buffer-sizing section below.
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      jobs = std::atoi(argv[++i]);
+  }
 
   std::cout << "=== §VI / Algorithm 1: minimum block sizes for the PAL decoder ===\n\n";
   std::cout << "paper reports: eta_start = 10136, eta_end = 1267 "
@@ -82,5 +92,38 @@ int main() {
   std::cout << "\npaper vs ours: same order of magnitude (1e4 / 1e3), same "
                "8:1 structure; the absolute value depends on the\n"
                "unpublished clock frequency (see EXPERIMENTS.md)\n";
+
+  // Gateway buffer sizing downstream of Algorithm 1, on a 1:1000-scaled
+  // PAL shape (the full-size blocks make exact self-timed analysis
+  // pointless to run in a table bench). Exercises the DSE engine's
+  // two-buffer staircase; counters show the memo/pruning savings.
+  std::cout << "\nminimum gateway buffers (alpha0, alpha3) per stream on a "
+               "scaled PAL shape (DSE engine, "
+            << (jobs == 0 ? "hw" : std::to_string(jobs))
+            << " worker thread(s)):\n";
+  {
+    SharedSystemSpec small;
+    small.chain.accel_cycles_per_sample = {1, 1};
+    small.chain.entry_cycles_per_sample = 2;
+    small.chain.exit_cycles_per_sample = 1;
+    small.streams = {{"ch1.start", Rational(1, 8), 20},
+                     {"ch1.end", Rational(1, 64), 20}};
+    const BlockSizeResult blocks = solve_block_sizes_fixpoint(small);
+    df::DseStats stats;
+    Table bt({"stream", "eta", "alpha0", "alpha3"});
+    for (std::size_t s = 0; s < small.num_streams(); ++s) {
+      const Time period = s == 0 ? 8 : 64;
+      const StreamBufferResult r = min_buffers_for_stream(
+          small, s, blocks.eta, period, /*consumer_chunk=*/1, jobs, &stats);
+      bt.add_row({small.streams[s].name, fmt_int(blocks.eta[s]),
+                  r.feasible ? fmt_int(r.alpha0) : "-",
+                  r.feasible ? fmt_int(r.alpha3) : "-"});
+    }
+    std::cout << bt.render();
+    std::cout << "DSE engine: " << stats.simulations << " simulations, cache "
+              << "hit rate " << fmt_double(stats.cache_hit_rate(), 2)
+              << ", " << stats.pruned()
+              << " candidates answered by monotone pruning\n";
+  }
   return 0;
 }

@@ -1,7 +1,7 @@
 // Block-size explorer: interactively study the trade-offs of §V of the
 // paper for a single stream on a shared chain.
 //
-//   usage: blocksize_explorer [reconfig] [epsilon] [sample_period] [eta_max]
+//   usage: blocksize_explorer [--jobs N] [reconfig] [epsilon] [sample_period] [eta_max]
 //
 // For each block size eta it prints the worst-case block time tau_hat
 // (Eq. 2), whether the throughput constraint holds (Eq. 5), and the minimum
@@ -12,9 +12,12 @@
 //
 // Build & run:  ./build/examples/blocksize_explorer 50 3 8 24
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
+#include "dataflow/buffer_sizing.hpp"
 #include "sharing/analysis.hpp"
 #include "sharing/blocksize.hpp"
 #include "sharing/nonmonotone.hpp"
@@ -23,10 +26,21 @@ int main(int argc, char** argv) {
   using namespace acc;
   using namespace acc::sharing;
 
-  const Time reconfig = argc > 1 ? std::atoll(argv[1]) : 50;
-  const Time epsilon = argc > 2 ? std::atoll(argv[2]) : 3;
-  const Time period = argc > 3 ? std::atoll(argv[3]) : 8;
-  const std::int64_t eta_max = argc > 4 ? std::atoll(argv[4]) : 24;
+  // Pull --jobs N out of argv; the remaining arguments stay positional.
+  int jobs = 1;
+  std::vector<char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      jobs = std::atoi(argv[++i]);
+    else
+      pos.push_back(argv[i]);
+  }
+  df::DseStats stats;
+
+  const Time reconfig = pos.size() > 0 ? std::atoll(pos[0]) : 50;
+  const Time epsilon = pos.size() > 1 ? std::atoll(pos[1]) : 3;
+  const Time period = pos.size() > 2 ? std::atoll(pos[2]) : 8;
+  const std::int64_t eta_max = pos.size() > 3 ? std::atoll(pos[3]) : 24;
 
   SharedSystemSpec sys;
   sys.chain.accel_cycles_per_sample = {1};
@@ -53,8 +67,8 @@ int main(int argc, char** argv) {
     std::string a3 = "-";
     std::string tot = "-";
     if (ok) {
-      const StreamBufferResult buf =
-          min_buffers_for_stream(sys, 0, {eta}, period);
+      const StreamBufferResult buf = min_buffers_for_stream(
+          sys, 0, {eta}, period, /*consumer_chunk=*/1, jobs, &stats);
       if (buf.feasible) {
         a0 = std::to_string(buf.alpha0);
         a3 = std::to_string(buf.alpha3);
@@ -72,7 +86,7 @@ int main(int argc, char** argv) {
                "down-sampling consumer, paper Fig. 8):\n";
   const auto pts = chunked_consumer_buffer_sweep(
       /*reconfig=*/10, /*per_sample=*/1, /*sample_period=*/2, /*chunk=*/8,
-      /*eta_lo=*/10, /*eta_hi=*/24);
+      /*eta_lo=*/10, /*eta_hi=*/24, jobs, &stats);
   Table nm({"eta", "min buffer"});
   std::vector<std::int64_t> caps;
   for (const auto& p : pts) {
@@ -84,5 +98,11 @@ int main(int argc, char** argv) {
   std::cout << nm.render();
   std::cout << "non-monotone: " << (is_non_monotone(caps) ? "YES" : "no")
             << " — smaller blocks can need LARGER buffers\n";
+
+  std::cout << "\nDSE engine (" << (jobs == 0 ? "hw" : std::to_string(jobs))
+            << " worker thread(s)): " << stats.simulations
+            << " simulations, cache hit rate "
+            << fmt_double(stats.cache_hit_rate(), 2) << ", " << stats.pruned()
+            << " candidates answered by monotone pruning\n";
   return 0;
 }

@@ -1,34 +1,22 @@
 #include "dataflow/buffer_sizing.hpp"
 
 #include <algorithm>
-#include <functional>
-#include <numeric>
+
+#include "dataflow/dse.hpp"
 
 namespace acc::df {
 
+// The search entry points below all route through the DSE engine
+// (dataflow/dse.hpp): it snapshots the graph (so the caller's capacities are
+// trivially preserved), validates once, memoizes every simulated capacity
+// vector and applies monotone feasibility pruning. `opt.jobs` controls the
+// worker-thread count; results are identical for every value.
+
 namespace {
 
-/// RAII guard restoring a set of channel capacities on scope exit, so the
-/// searches can mutate the caller's graph without leaking state.
-class CapacityGuard {
- public:
-  CapacityGuard(Graph& g, const std::vector<Channel>& channels)
-      : g_(g), channels_(channels) {
-    saved_.reserve(channels.size());
-    for (const Channel& ch : channels) saved_.push_back(g.channel_capacity(ch));
-  }
-  ~CapacityGuard() {
-    for (std::size_t i = 0; i < channels_.size(); ++i)
-      g_.set_channel_capacity(channels_[i], saved_[i]);
-  }
-  CapacityGuard(const CapacityGuard&) = delete;
-  CapacityGuard& operator=(const CapacityGuard&) = delete;
-
- private:
-  Graph& g_;
-  std::vector<Channel> channels_;
-  std::vector<std::int64_t> saved_;
-};
+void flush_stats(const BufferSizingOptions& opt, const DseEngine& engine) {
+  if (opt.stats) *opt.stats += engine.stats();
+}
 
 }  // namespace
 
@@ -52,73 +40,28 @@ Rational measure_throughput(const Graph& g, ActorId reference,
 Rational max_throughput_with_unbounded_channels(
     Graph& g, const std::vector<Channel>& channels, ActorId reference,
     const BufferSizingOptions& opt) {
-  CapacityGuard guard(g, channels);
-  // Truly unbounded channels admit unbounded queue growth (no periodic
-  // state), so approximate "unbounded" by doubling a uniform finite cap
-  // until the throughput saturates. Throughput is monotone in capacity, so
-  // the last value is a lower bound that in practice equals the supremum
-  // once two consecutive doublings agree.
-  std::int64_t cap = 1;
-  for (const Channel& ch : channels)
-    cap = std::max(cap, channel_capacity_lower_bound(g, ch));
-  Rational best(-1);
-  while (cap <= opt.max_capacity) {
-    for (const Channel& ch : channels) g.set_channel_capacity(ch, cap);
-    const Rational t = measure_throughput(g, reference, opt);
-    if (t == best) return t;  // saturated
-    ACC_CHECK_MSG(t > best, "throughput not monotone in capacity (bug)");
-    best = t;
-    cap *= 2;
-  }
+  DseEngine engine(g, channels, reference, opt);
+  const Rational best = engine.max_throughput_unbounded();
+  flush_stats(opt, engine);
   return best;
 }
 
 std::int64_t min_channel_capacity_for_throughput(
     Graph& g, const Channel& ch, ActorId reference, const Rational& target,
     const BufferSizingOptions& opt) {
-  CapacityGuard guard(g, {ch});
-  auto feasible = [&](std::int64_t cap) {
-    g.set_channel_capacity(ch, cap);
-    return measure_throughput(g, reference, opt) >= target;
-  };
-
-  std::int64_t lo = channel_capacity_lower_bound(g, ch);
-  if (feasible(lo)) return lo;
-  // Exponential probe for a feasible upper bound, then binary search. The
-  // probe is valid because throughput is monotone in the capacity.
-  std::int64_t hi = std::max<std::int64_t>(lo * 2, lo + 1);
-  while (!feasible(hi)) {
-    ACC_CHECK_MSG(hi < opt.max_capacity,
-                  "throughput target unreachable for any channel capacity");
-    hi = std::min(opt.max_capacity, hi * 2);
-  }
-  while (lo + 1 < hi) {
-    const std::int64_t mid = lo + (hi - lo) / 2;
-    (feasible(mid) ? hi : lo) = mid;
-  }
-  return hi;
+  DseEngine engine(g, {ch}, reference, opt);
+  const std::int64_t cap =
+      engine.min_capacity_for(0, engine.snapshot_capacities(), target);
+  flush_stats(opt, engine);
+  return cap;
 }
 
 std::vector<ParetoPoint> pareto_buffer_sweep(Graph& g, const Channel& ch,
                                              ActorId reference,
                                              const BufferSizingOptions& opt) {
-  CapacityGuard guard(g, {ch});
-  std::vector<ParetoPoint> out;
-  // Saturation target: the supremum over capacities.
-  const Rational best =
-      max_throughput_with_unbounded_channels(g, {ch}, reference, opt);
-  Rational prev(-1);
-  for (std::int64_t cap = channel_capacity_lower_bound(g, ch);
-       cap <= opt.max_capacity; ++cap) {
-    g.set_channel_capacity(ch, cap);
-    const Rational t = measure_throughput(g, reference, opt);
-    ACC_CHECK_MSG(t >= prev, "throughput not monotone in capacity (bug)");
-    if (t > prev) {
-      out.push_back(ParetoPoint{cap, t});
-      prev = t;
-    }
-    if (t >= best) break;  // saturated: the staircase is complete
-  }
+  DseEngine engine(g, {ch}, reference, opt);
+  std::vector<ParetoPoint> out = engine.pareto_sweep(0);
+  flush_stats(opt, engine);
   return out;
 }
 
@@ -128,70 +71,10 @@ MultiBufferResult minimize_total_capacity(Graph& g,
                                           const Rational& target,
                                           const BufferSizingOptions& opt) {
   ACC_EXPECTS(!channels.empty());
-  CapacityGuard guard(g, channels);
-  const std::size_t k = channels.size();
-
-  auto feasible_now = [&] {
-    return measure_throughput(g, reference, opt) >= target;
-  };
-
-  // Per-channel lower bounds: the exact single-channel minimum with every
-  // other channel opened wide. No assignment below these can be feasible.
-  std::vector<std::int64_t> lower(k);
-  {
-    for (const Channel& ch : channels)
-      g.set_channel_capacity(ch, opt.max_capacity);
-    for (std::size_t i = 0; i < k; ++i)
-      lower[i] = min_channel_capacity_for_throughput(g, channels[i], reference,
-                                                     target, opt);
-  }
-
-  // Per-channel upper bounds: with every other channel at its LOWER bound,
-  // the single-channel minimum is the most this channel could ever need in
-  // an optimal assignment (raising others only helps).
-  std::vector<std::int64_t> upper(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    for (std::size_t j = 0; j < k; ++j)
-      g.set_channel_capacity(channels[j], j == i ? opt.max_capacity : lower[j]);
-    upper[i] = min_channel_capacity_for_throughput(g, channels[i], reference,
-                                                   target, opt);
-  }
-
-  const std::int64_t base_total =
-      std::accumulate(lower.begin(), lower.end(), std::int64_t{0});
-  const std::int64_t max_total =
-      std::accumulate(upper.begin(), upper.end(), std::int64_t{0});
-
-  // Staircase: try total budgets in increasing order; within a budget,
-  // enumerate all assignments >= lower bounds (DFS over the slack).
-  std::vector<std::int64_t> caps(k);
-  MultiBufferResult best;
-  std::function<bool(std::size_t, std::int64_t)> dfs =
-      [&](std::size_t idx, std::int64_t slack) -> bool {
-    if (idx + 1 == k) {
-      if (lower[idx] + slack > upper[idx]) return false;
-      caps[idx] = lower[idx] + slack;
-      for (std::size_t j = 0; j < k; ++j)
-        g.set_channel_capacity(channels[j], caps[j]);
-      return feasible_now();
-    }
-    for (std::int64_t extra = 0; extra <= slack; ++extra) {
-      if (lower[idx] + extra > upper[idx]) break;
-      caps[idx] = lower[idx] + extra;
-      if (dfs(idx + 1, slack - extra)) return true;
-    }
-    return false;
-  };
-
-  for (std::int64_t total = base_total; total <= max_total; ++total) {
-    if (dfs(0, total - base_total)) {
-      best.capacities = caps;
-      best.total = total;
-      return best;
-    }
-  }
-  throw invariant_error(
-      "minimize_total_capacity: upper-bound assignment infeasible (bug)");
+  DseEngine engine(g, channels, reference, opt);
+  const MultiBufferResult res = engine.minimize_total(target);
+  flush_stats(opt, engine);
+  return res;
 }
 
 }  // namespace acc::df

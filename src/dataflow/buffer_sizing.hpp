@@ -22,6 +22,43 @@
 
 namespace acc::df {
 
+/// Counters of the design-space exploration engine (dataflow/dse.hpp).
+/// Exposed so tests can assert cache behaviour and benches can report a
+/// perf trajectory.
+struct DseStats {
+  /// Self-timed simulations actually executed.
+  std::int64_t simulations = 0;
+  /// Throughput probes answered from the memo cache.
+  std::int64_t cache_hits = 0;
+  /// Throughput probes that had to simulate (== simulations, kept separate
+  /// so the hit rate reads naturally).
+  std::int64_t cache_misses = 0;
+  /// Candidates killed because a component-wise-larger vector was already
+  /// known infeasible (monotone pruning, lower side).
+  std::int64_t pruned_infeasible = 0;
+  /// Candidates answered because a component-wise-smaller vector was already
+  /// known feasible (monotone pruning, upper side).
+  std::int64_t pruned_feasible = 0;
+
+  [[nodiscard]] std::int64_t pruned() const {
+    return pruned_infeasible + pruned_feasible;
+  }
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::int64_t probes = cache_hits + cache_misses;
+    return probes == 0 ? 0.0
+                       : static_cast<double>(cache_hits) /
+                             static_cast<double>(probes);
+  }
+  DseStats& operator+=(const DseStats& o) {
+    simulations += o.simulations;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    pruned_infeasible += o.pruned_infeasible;
+    pruned_feasible += o.pruned_feasible;
+    return *this;
+  }
+};
+
 struct BufferSizingOptions {
   /// Hard upper bound considered per channel (throws if exceeded). Kept
   /// moderate by default: self-timed state recurrence takes O(capacity)
@@ -29,6 +66,11 @@ struct BufferSizingOptions {
   std::int64_t max_capacity = 4096;
   /// Iteration budget for each underlying throughput analysis.
   std::int64_t max_iterations = 200000;
+  /// Worker threads for the DSE engine: 1 = serial (the default), 0 = one
+  /// per hardware thread. Results are identical for every value.
+  int jobs = 1;
+  /// When set, engine counters are accumulated here on return.
+  DseStats* stats = nullptr;
 };
 
 /// Smallest capacity a channel must have for its endpoints to fire at all:
@@ -75,7 +117,9 @@ struct ParetoPoint {
 
 /// Exact minimum-total capacity assignment over `channels` such that the
 /// throughput target is met. Exhaustive staircase search (exponential in the
-/// channel count — intended for the small analysis graphs of the paper).
+/// channel count — intended for the small analysis graphs of the paper),
+/// executed by the DSE engine: memoized, monotone-pruned, and parallel over
+/// `opt.jobs` workers with thread-count-independent results.
 /// Restores original capacities on return.
 [[nodiscard]] MultiBufferResult minimize_total_capacity(
     Graph& g, const std::vector<Channel>& channels, ActorId reference,

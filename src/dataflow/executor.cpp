@@ -18,6 +18,11 @@ SelfTimedExecutor::SelfTimedExecutor(const Graph& g) : g_(g) {
   reset();
 }
 
+SelfTimedExecutor::SelfTimedExecutor(const Graph& g, assume_validated_t)
+    : g_(g) {
+  reset();
+}
+
 void SelfTimedExecutor::reset() {
   now_ = 0;
   seq_ = 0;
@@ -152,27 +157,58 @@ std::vector<Time> SelfTimedExecutor::completion_times(ActorId actor,
   return times;
 }
 
-std::string SelfTimedExecutor::state_key() const {
+namespace {
+
+/// Incremental FNV-1a over 64-bit words. Hashing whole words (not bytes)
+/// keeps the loop branch-free and is plenty mixing for recurrence detection.
+struct Fnv1a64 {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  void mix(std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  void mix_i64(std::int64_t x) { mix(static_cast<std::uint64_t>(x)); }
+};
+
+}  // namespace
+
+std::uint64_t SelfTimedExecutor::state_key() const {
   // Timing-relevant state: token counts, next phases, and the relative
-  // offsets of all in-flight completions.
+  // offsets of all in-flight completions. Enumerated in the heap's pop
+  // order — (when, seq) ascending — so the hash covers exactly the bytes the
+  // old string key serialized, without the per-call heap copy + string
+  // allocation.
+  Fnv1a64 fnv;
+  for (std::int64_t t : tokens_) fnv.mix_i64(t);
+  for (std::int32_t p : next_phase_) fnv.mix_i64(p);
+  scratch_.assign(pending_.container().begin(), pending_.container().end());
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const Event& a, const Event& b) {
+              return std::tie(a.when, a.seq) < std::tie(b.when, b.seq);
+            });
+  for (const Event& ev : scratch_) {
+    fnv.mix_i64(ev.when - now_);
+    fnv.mix_i64(ev.actor);
+    fnv.mix_i64(ev.phase);
+  }
+  return fnv.h;
+}
+
+std::string SelfTimedExecutor::state_key_string() const {
   std::vector<std::int64_t> v;
   v.reserve(tokens_.size() + next_phase_.size() + pending_.size() * 3 + 1);
   for (std::int64_t t : tokens_) v.push_back(t);
   for (std::int32_t p : next_phase_) v.push_back(p);
-  // Copy the queue to enumerate it (small for our graphs).
   auto copy = pending_;
-  std::vector<std::int64_t> inflight;
   while (!copy.empty()) {
     const Event& ev = copy.top();
-    inflight.push_back(ev.when - now_);
-    inflight.push_back(ev.actor);
-    inflight.push_back(ev.phase);
+    v.push_back(ev.when - now_);
+    v.push_back(ev.actor);
+    v.push_back(ev.phase);
     copy.pop();
   }
-  v.insert(v.end(), inflight.begin(), inflight.end());
-  std::string key(reinterpret_cast<const char*>(v.data()),
-                  v.size() * sizeof(std::int64_t));
-  return key;
+  return std::string(reinterpret_cast<const char*>(v.data()),
+                     v.size() * sizeof(std::int64_t));
 }
 
 DeadlockReport diagnose_deadlock(const Graph& g, Time horizon) {
@@ -227,14 +263,28 @@ ThroughputResult SelfTimedExecutor::analyze_throughput(
   reset();
   ThroughputResult out;
 
-  // States observed at iteration boundaries of the reference actor.
-  std::unordered_map<std::string, std::pair<Time, std::int64_t>> seen;
+  // States observed at iteration boundaries of the reference actor, keyed by
+  // the 64-bit state hash. A hash collision would mis-detect a recurrence;
+  // debug builds cross-check every hash against the full serialized state.
+  std::unordered_map<std::uint64_t, std::pair<Time, std::int64_t>> seen;
+#ifndef NDEBUG
+  std::unordered_map<std::uint64_t, std::string> seen_full;
+#endif
   for (std::int64_t iter = 1; iter <= max_iterations; ++iter) {
     if (!run_until_firings(reference, iter * ref_per_iter).has_value()) {
       out.deadlocked = true;
       return out;
     }
-    const std::string key = state_key();
+    const std::uint64_t key = state_key();
+#ifndef NDEBUG
+    {
+      const std::string full = state_key_string();
+      const auto fit = seen_full.find(key);
+      ACC_CHECK_MSG(fit == seen_full.end() || fit->second == full,
+                    "state_key 64-bit hash collision");
+      seen_full.emplace(key, full);
+    }
+#endif
     const auto it = seen.find(key);
     if (it != seen.end()) {
       const Time t0 = it->second.first;

@@ -78,13 +78,26 @@ struct ThroughputResult {
   std::int64_t transient_iterations = 0;
 };
 
+/// Tag for the validation-skipping constructor: the caller vouches that the
+/// graph has already passed Graph::validate(). Used by search drivers
+/// (buffer sizing, DSE) that construct thousands of executors on the same
+/// pre-validated graph.
+struct assume_validated_t {
+  explicit assume_validated_t() = default;
+};
+inline constexpr assume_validated_t assume_validated{};
+
 class SelfTimedExecutor {
  public:
   /// The graph must outlive the executor and must validate().
   explicit SelfTimedExecutor(const Graph& g);
+  /// Skip structural validation: the caller guarantees g.validate() passed
+  /// (capacity changes via set_channel_capacity never invalidate a graph).
+  SelfTimedExecutor(const Graph& g, assume_validated_t);
   /// Guard against dangling references: a temporary graph cannot outlive
   /// the executor.
   explicit SelfTimedExecutor(Graph&&) = delete;
+  SelfTimedExecutor(Graph&&, assume_validated_t) = delete;
 
   /// Restore all token counts and clocks to the initial state.
   void reset();
@@ -142,8 +155,22 @@ class SelfTimedExecutor {
   /// Returns false if no events remain.
   bool step();
 
-  /// Serialize the timing-relevant state for recurrence detection.
-  [[nodiscard]] std::string state_key() const;
+  /// Expose the heap's underlying storage so state_key() can enumerate
+  /// pending events without the O(n log n) pop-everything copy.
+  class EventQueue
+      : public std::priority_queue<Event, std::vector<Event>, std::greater<>> {
+   public:
+    [[nodiscard]] const std::vector<Event>& container() const { return c; }
+  };
+
+  /// Hash the timing-relevant state for recurrence detection: token counts,
+  /// next phases, and the (when - now, actor, phase) of every in-flight
+  /// completion in deterministic (when, seq) order. Allocation-free after
+  /// the first call (reuses scratch_).
+  [[nodiscard]] std::uint64_t state_key() const;
+  /// The pre-optimization serialized key; kept for the NDEBUG-off collision
+  /// check in analyze_throughput.
+  [[nodiscard]] std::string state_key_string() const;
 
   const Graph& g_;
   Time now_ = 0;
@@ -153,7 +180,8 @@ class SelfTimedExecutor {
   std::vector<std::int32_t> next_phase_;
   std::vector<std::int32_t> in_flight_;
   std::vector<std::int64_t> completed_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> pending_;
+  EventQueue pending_;
+  mutable std::vector<Event> scratch_;  // state_key() working storage
   ExecObservers observers_;
 };
 

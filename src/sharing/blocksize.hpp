@@ -22,6 +22,10 @@
 #include "common/rational.hpp"
 #include "sharing/spec.hpp"
 
+namespace acc::df {
+struct DseStats;  // dataflow/buffer_sizing.hpp
+}
+
 namespace acc::sharing {
 
 struct BlockSizeResult {
@@ -64,10 +68,13 @@ struct StreamBufferResult {
 /// claiming `consumer_chunk` samples atomically per firing (1 = plain
 /// sample-rate consumer; >1 = a downstream block consumer such as the next
 /// gateway stream or a down-sampler — the Fig. 8 non-monotone case).
+/// `jobs` is the DSE worker-thread count (results identical for any value);
+/// `stats` optionally accumulates the engine counters.
 [[nodiscard]] StreamBufferResult min_buffers_for_stream(
     const SharedSystemSpec& sys, std::size_t stream,
     const std::vector<std::int64_t>& etas, Time sample_period,
-    std::int64_t consumer_chunk = 1);
+    std::int64_t consumer_chunk = 1, int jobs = 1,
+    df::DseStats* stats = nullptr);
 
 struct OptimalBlockResult {
   bool feasible = false;
@@ -86,6 +93,7 @@ struct OptimalBlockResult {
 [[nodiscard]] OptimalBlockResult optimal_blocks_for_buffers(
     const SharedSystemSpec& sys, const std::vector<Time>& sample_periods,
     std::int64_t eta_slack,
-    const std::vector<std::int64_t>& consumer_chunks = {});
+    const std::vector<std::int64_t>& consumer_chunks = {}, int jobs = 1,
+    df::DseStats* stats = nullptr);
 
 }  // namespace acc::sharing

@@ -19,6 +19,10 @@
 #include "common/rational.hpp"
 #include "sharing/spec.hpp"
 
+namespace acc::df {
+struct DseStats;  // dataflow/buffer_sizing.hpp
+}
+
 namespace acc::sharing {
 
 /// One row of a Fig. 8(b)-style table.
@@ -33,17 +37,19 @@ struct BufferSweepPoint {
 /// Two-actor model: vA (duration `producer_duration`) produces one token per
 /// firing into a bounded channel; vB (duration `consumer_duration`) consumes
 /// eta tokens per firing. For each eta in [eta_lo, eta_hi], compute the
-/// maximum throughput and the minimal capacity achieving it.
+/// maximum throughput and the minimal capacity achieving it. All sweeps in
+/// this module take a DSE worker-thread count `jobs` (results identical for
+/// any value) and an optional `stats` accumulator for the engine counters.
 [[nodiscard]] std::vector<BufferSweepPoint> two_actor_buffer_sweep(
     Time producer_duration, Time consumer_duration, std::int64_t eta_lo,
-    std::int64_t eta_hi);
+    std::int64_t eta_hi, int jobs = 1, df::DseStats* stats = nullptr);
 
 /// Like above but with a consumer whose duration scales with the block:
 /// vB takes `base + per_sample * eta` cycles per firing — the shape of the
 /// paper's shared actor (reconfiguration + pipelined block, Eq. 2).
 [[nodiscard]] std::vector<BufferSweepPoint> scaling_consumer_buffer_sweep(
     Time producer_duration, Time base, Time per_sample, std::int64_t eta_lo,
-    std::int64_t eta_hi);
+    std::int64_t eta_hi, int jobs = 1, df::DseStats* stats = nullptr);
 
 /// The non-monotone case (our Fig. 8 reproduction): the shared actor
 /// (duration reconfig + per_sample*eta, paper Eq. 2) delivers blocks of eta
@@ -55,7 +61,8 @@ struct BufferSweepPoint {
 /// sweep sizes the buffer for the fixed target rate 1/sample_period.
 [[nodiscard]] std::vector<BufferSweepPoint> chunked_consumer_buffer_sweep(
     Time reconfig, Time per_sample, Time sample_period, std::int64_t chunk,
-    std::int64_t eta_lo, std::int64_t eta_hi);
+    std::int64_t eta_lo, std::int64_t eta_hi, int jobs = 1,
+    df::DseStats* stats = nullptr);
 
 /// One row of the gateway-system sweep: minimum alpha0+alpha3 for stream
 /// `stream` when its block size is forced to eta (other streams at their
@@ -70,7 +77,8 @@ struct GatewayBufferPoint {
 
 [[nodiscard]] std::vector<GatewayBufferPoint> gateway_buffer_sweep(
     const SharedSystemSpec& sys, std::size_t stream, Time sample_period,
-    std::int64_t eta_lo, std::int64_t eta_hi);
+    std::int64_t eta_lo, std::int64_t eta_hi, int jobs = 1,
+    df::DseStats* stats = nullptr);
 
 /// True iff the min_capacity sequence both rises and falls somewhere —
 /// the paper's headline observation.
