@@ -11,11 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_schema.hpp"
 #include "common/json.hpp"
-#include "common/thread_pool.hpp"
 #include "dataflow/buffer_sizing.hpp"
 #include "dataflow/executor.hpp"
 #include "dataflow/hsdf.hpp"
+#include "sharing/bench_doc.hpp"
 #include "sharing/blocksize.hpp"
 #include "sharing/csdf_model.hpp"
 #include "sharing/nonmonotone.hpp"
@@ -168,57 +169,25 @@ void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCyclesPerSecond);
 
-/// One timed run of the DSE workload (the chunked-consumer Fig. 8 sweep
-/// plus the two-buffer gateway sizing) at a given worker count.
-json::Object dse_run(int jobs) {
-  df::DseStats stats;
-  const auto t0 = std::chrono::steady_clock::now();
-
-  (void)sharing::chunked_consumer_buffer_sweep(6, 1, 3, 4, 3, 16, jobs,
-                                               &stats);
-  sharing::SharedSystemSpec sys;
-  sys.chain.accel_cycles_per_sample = {1, 1};
-  sys.chain.entry_cycles_per_sample = 2;
-  sys.chain.exit_cycles_per_sample = 1;
-  sys.streams = {{"fast", Rational(1, 8), 20}, {"slow", Rational(1, 64), 20}};
-  const sharing::BlockSizeResult blocks =
-      sharing::solve_block_sizes_fixpoint(sys);
-  for (std::size_t s = 0; s < sys.num_streams(); ++s) {
-    const df::Time period = s == 0 ? 8 : 64;
-    (void)sharing::min_buffers_for_stream(sys, s, blocks.eta, period,
-                                          /*consumer_chunk=*/1, jobs, &stats);
-  }
-
-  const auto t1 = std::chrono::steady_clock::now();
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
-  json::Object run;
-  run["jobs"] = jobs;
-  run["wall_ms"] = wall_ms;
-  run["simulations"] = stats.simulations;
-  run["cache_hits"] = stats.cache_hits;
-  run["cache_misses"] = stats.cache_misses;
-  run["cache_hit_rate"] = stats.cache_hit_rate();
-  run["pruned_infeasible"] = stats.pruned_infeasible;
-  run["pruned_feasible"] = stats.pruned_feasible;
-  return run;
-}
-
 /// Machine-readable perf trajectory of the DSE engine: BENCH_dse.json with
 /// wall time, simulation count, cache hit rate and pruning wins for jobs=1
-/// and jobs=N (--jobs, default 4).
+/// and jobs=N (--jobs, default 4). The workload and document builder live
+/// in sharing/bench_doc.hpp so the schema tests cover the shipping code.
 void emit_dse_json(int jobs, const std::string& path) {
-  json::Object doc;
-  doc["bench"] = "dse";
-  doc["hardware_threads"] =
-      static_cast<std::int64_t>(ThreadPool::hardware_threads());
+  const sharing::DseWorkload workload;  // historical bench scale
   json::Array runs;
-  runs.push_back(json::Value(dse_run(1)));
-  if (jobs != 1) runs.push_back(json::Value(dse_run(jobs)));
-  doc["runs"] = std::move(runs);
+  runs.push_back(json::Value(sharing::dse_run(workload, 1)));
+  if (jobs != 1) runs.push_back(json::Value(sharing::dse_run(workload, jobs)));
+  const json::Value doc = sharing::dse_bench_doc(std::move(runs));
+
+  const std::vector<std::string> problems = validate_bench_dse(doc);
+  if (!problems.empty()) {
+    std::cout << "WARNING: BENCH_dse.json violates its schema:\n";
+    for (const std::string& p : problems) std::cout << "  " << p << "\n";
+  }
 
   std::ofstream out(path);
-  out << json::Value(doc).pretty() << "\n";
+  out << doc.pretty() << "\n";
   out.flush();
   if (out)
     std::cout << "wrote " << path << "\n";

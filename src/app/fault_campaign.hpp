@@ -1,0 +1,103 @@
+// Fault-injection campaign on the PAL stereo decoder: run the shared-chain
+// demonstrator at increasing fault intensity, check the gateway trace for
+// conformance to the analysis bounds, and classify every violation as
+// covered-by-slack (the injector's declared worst-case per-block delay
+// absorbs it) or a genuine bound breach.
+//
+// The campaign is deterministic: every point derives its FaultInjector seed
+// from (campaign seed, point index), runs single-threaded inside the
+// simulator, and the resulting BENCH_faults.json carries no wall-clock
+// fields — the same seed yields a bit-identical document for any --jobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/pal_system.hpp"
+#include "common/json.hpp"
+#include "sim/fault.hpp"
+
+namespace acc::app {
+
+/// One intensity level of the campaign.
+struct FaultLevel {
+  std::string label;
+  /// Scales the per-site fault probabilities (0 = fault-free). The per-hit
+  /// delay magnitudes stay fixed, so every delay-only level operates within
+  /// the envelope FaultInjector::worst_case_block_delay declares.
+  double intensity = 0.0;
+  /// Additionally drop exit-gateway idle notifications. Recovery then
+  /// relies on the entry gateway's retry policy, whose timeout is far
+  /// beyond the declared envelope — these points are expected to produce
+  /// genuine bound breaches.
+  bool drop_notifications = false;
+};
+
+/// baseline (0), light (0.25), moderate (1.0), heavy (2.0) — all within
+/// the declared envelope — plus "lossy": moderate intensity with dropped
+/// notifications, beyond the envelope.
+[[nodiscard]] std::vector<FaultLevel> default_fault_levels();
+
+/// A PAL configuration small enough for ctest (seconds, not minutes), with
+/// the notification retry policy armed.
+[[nodiscard]] PalSimConfig small_campaign_pal_config();
+
+/// Per-level outcome: injector totals, real-time verdict and the
+/// slack-classified conformance result.
+struct FaultPointResult {
+  FaultLevel level;
+  std::uint64_t seed = 0;
+
+  // Injector totals.
+  std::int64_t faults_injected = 0;
+  std::int64_t notifications_dropped = 0;
+  sim::Cycle fault_delay_cycles = 0;
+  /// Declared per-block fault envelope fed to the conformance checker.
+  sim::Cycle fault_slack = 0;
+
+  // Conformance classification.
+  std::int64_t blocks_checked = 0;
+  std::int64_t violations = 0;
+  std::int64_t covered_by_slack = 0;
+  std::int64_t genuine_breaches = 0;
+  sim::Cycle max_service_observed = 0;
+  sim::Cycle max_excess = 0;
+
+  // Degradation / recovery counters and real-time verdict.
+  std::int64_t notify_timeouts = 0;
+  std::int64_t notify_recoveries = 0;
+  std::int64_t credit_stalls = 0;
+  std::int64_t source_drops = 0;
+  std::int64_t sink_underruns = 0;
+
+  bool trace_truncated = false;
+  /// Full gateway trace (CSV) — the determinism tests compare it verbatim.
+  std::string trace_csv;
+};
+
+struct FaultCampaignConfig {
+  PalSimConfig pal = small_campaign_pal_config();
+  std::vector<FaultLevel> levels = default_fault_levels();
+  std::uint64_t seed = 0x5EED;
+  /// Campaign points evaluated concurrently; never changes the results.
+  int jobs = 1;
+  sim::Cycle conformance_slack = 16;
+};
+
+struct FaultCampaignResult {
+  std::vector<FaultPointResult> points;
+};
+
+/// Configure `inj` for one level (site probabilities scaled by intensity).
+void apply_fault_level(sim::FaultInjector& inj, const FaultLevel& level);
+
+[[nodiscard]] FaultCampaignResult run_fault_campaign(
+    const FaultCampaignConfig& cfg);
+
+/// The BENCH_faults.json document (schema: common/bench_schema.hpp).
+/// Deterministic for a given (config, result) pair: no timing fields.
+[[nodiscard]] json::Value faults_bench_doc(const FaultCampaignConfig& cfg,
+                                           const FaultCampaignResult& res);
+
+}  // namespace acc::app

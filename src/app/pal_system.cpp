@@ -168,6 +168,24 @@ PalSimResult run_pal_decoder(const PalSimConfig& cfg) {
   entry.set_exit(&exit_gw);
   exit_gw.set_entry(&entry);
 
+  if (cfg.trace != nullptr) {
+    entry.set_trace(cfg.trace);
+    exit_gw.set_trace(cfg.trace);
+  }
+  if (cfg.fault != nullptr) {
+    entry.set_fault(cfg.fault);
+    exit_gw.set_fault(cfg.fault);
+    sys.ring().set_fault(cfg.fault);
+    in1.set_fault(cfg.fault);
+    in2.set_fault(cfg.fault);
+    mid1.set_fault(cfg.fault);
+    mid2.set_fault(cfg.fault);
+  }
+  if (cfg.notify_timeout > 0) {
+    entry.set_retry_policy(sim::GatewayRetryPolicy{
+        cfg.notify_timeout, cfg.notify_max_retries, cfg.notify_backoff});
+  }
+
   const std::int64_t out1 = eta1 / cfg.decimation;
   entry.add_stream({0, "ch1.mix+lpf", eta1, out1, &in1, &mid1, cfg.reconfig});
   entry.add_stream({1, "ch2.mix+lpf", eta1, out1, &in2, &mid2, cfg.reconfig});

@@ -19,7 +19,9 @@
 
 #include "radio/signal.hpp"
 #include "sharing/spec.hpp"
+#include "sim/fault.hpp"
 #include "sim/gateway.hpp"
+#include "sim/trace.hpp"
 
 namespace acc::app {
 
@@ -54,6 +56,17 @@ struct PalSimConfig {
 
   /// C-FIFO capacities as a multiple of the stream's block size.
   std::int64_t fifo_slack = 4;
+
+  // --- robustness (optional; shared-chain decoder only) ---
+  /// Fault injection: wires the gateways, the dual ring and the four
+  /// gateway-facing C-FIFOs (in/mid). Caller owns the injector.
+  sim::FaultInjector* fault = nullptr;
+  /// Event trace of the gateways (conformance checking input).
+  sim::TraceLog* trace = nullptr;
+  /// Entry-gateway notification recovery; 0 disables (seed behaviour).
+  sim::Cycle notify_timeout = 0;
+  int notify_max_retries = 8;
+  sim::Cycle notify_backoff = 0;
 };
 
 struct PalSimResult {

@@ -1,0 +1,152 @@
+#include "common/bench_schema.hpp"
+
+namespace acc {
+
+namespace {
+
+enum class Kind { kInt, kNumber, kString, kBool, kArray, kObject };
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kInt: return "integer";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kBool: return "bool";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+bool is_kind(const json::Value& v, Kind k) {
+  switch (k) {
+    case Kind::kInt: return v.is_int();
+    case Kind::kNumber: return v.is_number();
+    case Kind::kString: return v.is_string();
+    case Kind::kBool: return v.is_bool();
+    case Kind::kArray: return v.is_array();
+    case Kind::kObject: return v.is_object();
+  }
+  return false;
+}
+
+/// Appends a problem (and returns nullptr) unless `obj` has member `key`
+/// of kind `kind`.
+const json::Value* require(const json::Value& obj, const std::string& path,
+                           const std::string& key, Kind kind,
+                           std::vector<std::string>* problems) {
+  if (!obj.is_object()) {
+    problems->push_back(path + ": expected an object");
+    return nullptr;
+  }
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) {
+    problems->push_back(path + ": missing required key \"" + key + "\"");
+    return nullptr;
+  }
+  if (!is_kind(*v, kind)) {
+    problems->push_back(path + "." + key + ": expected " + kind_name(kind));
+    return nullptr;
+  }
+  return v;
+}
+
+void require_all(const json::Value& obj, const std::string& path,
+                 const std::vector<std::pair<const char*, Kind>>& keys,
+                 std::vector<std::string>* problems) {
+  for (const auto& [key, kind] : keys)
+    (void)require(obj, path, key, kind, problems);
+}
+
+}  // namespace
+
+std::vector<std::string> validate_bench_dse(const json::Value& doc) {
+  std::vector<std::string> problems;
+  const json::Value* bench =
+      require(doc, "$", "bench", Kind::kString, &problems);
+  if (bench != nullptr && bench->as_string() != "dse")
+    problems.push_back("$.bench: expected \"dse\"");
+  (void)require(doc, "$", "hardware_threads", Kind::kInt, &problems);
+  const json::Value* runs =
+      require(doc, "$", "runs", Kind::kArray, &problems);
+  if (runs == nullptr) return problems;
+  if (runs->as_array().empty())
+    problems.push_back("$.runs: expected at least one run");
+  for (std::size_t i = 0; i < runs->as_array().size(); ++i) {
+    const std::string path = "$.runs[" + std::to_string(i) + "]";
+    require_all(runs->as_array()[i], path,
+                {{"jobs", Kind::kInt},
+                 {"wall_ms", Kind::kNumber},
+                 {"simulations", Kind::kInt},
+                 {"cache_hits", Kind::kInt},
+                 {"cache_misses", Kind::kInt},
+                 {"cache_hit_rate", Kind::kNumber},
+                 {"pruned_infeasible", Kind::kInt},
+                 {"pruned_feasible", Kind::kInt}},
+                &problems);
+  }
+  return problems;
+}
+
+std::vector<std::string> validate_bench_faults(const json::Value& doc) {
+  std::vector<std::string> problems;
+  const json::Value* bench =
+      require(doc, "$", "bench", Kind::kString, &problems);
+  if (bench != nullptr && bench->as_string() != "faults")
+    problems.push_back("$.bench: expected \"faults\"");
+  (void)require(doc, "$", "seed", Kind::kInt, &problems);
+  (void)require(doc, "$", "conformance_slack", Kind::kInt, &problems);
+  const json::Value* pal =
+      require(doc, "$", "pal", Kind::kObject, &problems);
+  if (pal != nullptr) {
+    require_all(*pal, "$.pal",
+                {{"input_samples", Kind::kInt},
+                 {"input_period", Kind::kInt},
+                 {"reconfig", Kind::kInt},
+                 {"notify_timeout", Kind::kInt}},
+                &problems);
+  }
+  const json::Value* points =
+      require(doc, "$", "points", Kind::kArray, &problems);
+  if (points != nullptr) {
+    if (points->as_array().empty())
+      problems.push_back("$.points: expected at least one point");
+    for (std::size_t i = 0; i < points->as_array().size(); ++i) {
+      const std::string path = "$.points[" + std::to_string(i) + "]";
+      require_all(points->as_array()[i], path,
+                  {{"label", Kind::kString},
+                   {"intensity", Kind::kNumber},
+                   {"drop_notifications", Kind::kBool},
+                   {"seed", Kind::kInt},
+                   {"faults_injected", Kind::kInt},
+                   {"notifications_dropped", Kind::kInt},
+                   {"fault_delay_cycles", Kind::kInt},
+                   {"fault_slack", Kind::kInt},
+                   {"blocks_checked", Kind::kInt},
+                   {"violations", Kind::kInt},
+                   {"covered_by_slack", Kind::kInt},
+                   {"genuine_breaches", Kind::kInt},
+                   {"max_service_observed", Kind::kInt},
+                   {"max_excess", Kind::kInt},
+                   {"notify_timeouts", Kind::kInt},
+                   {"notify_recoveries", Kind::kInt},
+                   {"credit_stalls", Kind::kInt},
+                   {"source_drops", Kind::kInt},
+                   {"sink_underruns", Kind::kInt},
+                   {"trace_truncated", Kind::kBool}},
+                  &problems);
+    }
+  }
+  const json::Value* summary =
+      require(doc, "$", "summary", Kind::kObject, &problems);
+  if (summary != nullptr) {
+    require_all(*summary, "$.summary",
+                {{"faults_injected", Kind::kInt},
+                 {"covered_by_slack", Kind::kInt},
+                 {"genuine_breaches", Kind::kInt}},
+                &problems);
+  }
+  return problems;
+}
+
+}  // namespace acc

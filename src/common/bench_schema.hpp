@@ -1,0 +1,23 @@
+// Golden schemas for the machine-readable bench documents (BENCH_*.json).
+// The bench binaries validate before writing and the test suite validates
+// documents built in-process, so a drifting producer breaks both the bench
+// and ctest instead of silently shipping a malformed artifact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace acc {
+
+/// Validate a BENCH_dse.json document (see sharing/bench_doc.hpp).
+/// Returns one human-readable problem per schema breach; empty = valid.
+[[nodiscard]] std::vector<std::string> validate_bench_dse(
+    const json::Value& doc);
+
+/// Validate a BENCH_faults.json document (see app/fault_campaign.hpp).
+[[nodiscard]] std::vector<std::string> validate_bench_faults(
+    const json::Value& doc);
+
+}  // namespace acc

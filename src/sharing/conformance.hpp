@@ -26,18 +26,51 @@ struct ConformanceViolation {
   std::string rule;     // "tau_hat", "gamma_spacing", "round_robin"
   std::string detail;
   sim::Cycle at = 0;
+  /// Cycles beyond the model bound (0 for rules without a cycle measure).
+  sim::Cycle excess = 0;
+  /// True when the excess fits inside the declared fault envelope
+  /// (ConformanceOptions::fault_slack): the run misbehaved only as much as
+  /// the injected faults permit, so the analysis is still conservative.
+  bool covered_by_slack = false;
 };
 
 struct ConformanceReport {
   bool conforms = true;
   std::int64_t blocks_checked = 0;
+  /// Violations whose excess is absorbed by the declared fault envelope.
+  std::int64_t covered_by_slack = 0;
+  /// Violations the fault envelope cannot explain: real bound breaches.
+  std::int64_t genuine_breaches = 0;
+  /// Largest admit -> block.done service time seen (violating or not).
+  sim::Cycle max_service_observed = 0;
+  /// Largest excess over a bound among violations (0 when none).
+  sim::Cycle max_excess = 0;
   std::vector<ConformanceViolation> violations;
 };
 
+/// Knobs for the conformance check.
+struct ConformanceOptions {
+  /// Absorbs the exit-notification and interconnect latencies that the
+  /// abstract model does not account for; part of the bound itself.
+  sim::Cycle slack = 16;
+  /// Declared per-block fault envelope (e.g. from
+  /// sim::FaultInjector::worst_case_block_delay). Violations whose excess
+  /// stays within it are classified covered-by-slack, not genuine. With
+  /// fault_slack > 0 round-robin perturbations are also treated as covered,
+  /// since bounded stalls may legally reorder admissibility windows.
+  sim::Cycle fault_slack = 0;
+};
+
 /// Check an entry-gateway trace against the analysis model. `etas` are the
-/// configured block sizes (one per stream, indexed by trace stream id);
-/// `slack` absorbs the exit-notification and interconnect latencies that
-/// the abstract model does not account for.
+/// configured block sizes (one per stream, indexed by trace stream id).
+/// `conforms` stays strict (any violation clears it); use the
+/// covered_by_slack / genuine_breaches counters to judge runs with
+/// injected faults.
+[[nodiscard]] ConformanceReport check_conformance(
+    const SharedSystemSpec& sys, const std::vector<std::int64_t>& etas,
+    const sim::TraceLog& trace, const ConformanceOptions& opts);
+
+/// Convenience overload with a default fault envelope of zero.
 [[nodiscard]] ConformanceReport check_conformance(
     const SharedSystemSpec& sys, const std::vector<std::int64_t>& etas,
     const sim::TraceLog& trace, sim::Cycle slack = 16);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/fault.hpp"
+
 namespace acc::sim {
 
 CFifo::CFifo(std::string name, std::int64_t capacity,
@@ -35,7 +37,13 @@ void CFifo::push(Cycle now, Flit f) {
   // Retire freed-space entries the writer has already observed; they are
   // folded into the capacity from now on.
   while (!freed_.empty() && freed_.front() <= now) freed_.pop_front();
-  data_.emplace_back(now + rlag_, f);
+  Cycle visible_at = now + rlag_;
+  if (fault_ != nullptr)
+    visible_at += fault_->delay(FaultSite::kCreditWithhold, now);
+  // The write counter is a single index: withholding one update withholds
+  // everything behind it, so visibility times stay monotone.
+  if (!data_.empty()) visible_at = std::max(visible_at, data_.back().first);
+  data_.emplace_back(visible_at, f);
   ++pushed_;
   peak_ = std::max(peak_, static_cast<std::int64_t>(data_.size()));
 }
@@ -58,7 +66,11 @@ Flit CFifo::pop(Cycle now) {
   ACC_EXPECTS_MSG(can_pop(now), "CFifo '" + name_ + "' pop on empty view");
   const Flit f = data_.front().second;
   data_.pop_front();
-  freed_.push_back(now + wlag_);
+  Cycle freed_at = now + wlag_;
+  if (fault_ != nullptr)
+    freed_at += fault_->delay(FaultSite::kCreditWithhold, now);
+  if (!freed_.empty()) freed_at = std::max(freed_at, freed_.back());
+  freed_.push_back(freed_at);
   ++popped_;
   return f;
 }

@@ -52,6 +52,12 @@ class CFifo {
   /// Peak ground-truth occupancy ever seen.
   [[nodiscard]] std::int64_t peak_fill() const { return peak_; }
 
+  /// Opt-in fault injection (kCreditWithhold): each push/pop may have its
+  /// counter update delayed beyond the nominal visibility lag — a withheld
+  /// software credit. Data is never lost and order is preserved; the other
+  /// side just sees the update later (still conservative, still safe).
+  void set_fault(FaultInjector* injector) { fault_ = injector; }
+
  private:
   std::string name_;
   std::int64_t capacity_;
@@ -60,6 +66,7 @@ class CFifo {
 
   std::deque<std::pair<Cycle, Flit>> data_;  // (visible-to-reader-at, flit)
   std::deque<Cycle> freed_;                  // space visible-to-writer-at
+  FaultInjector* fault_ = nullptr;
   std::int64_t pushed_ = 0;
   std::int64_t popped_ = 0;
   std::int64_t peak_ = 0;

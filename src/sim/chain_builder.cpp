@@ -55,6 +55,18 @@ GatewayChain build_gateway_chain(System& sys, const ChainConfig& cfg) {
   entry.set_exit(&exit);
   exit.set_entry(&entry);
 
+  if (cfg.trace != nullptr) {
+    entry.set_trace(cfg.trace);
+    exit.set_trace(cfg.trace);
+    for (AcceleratorTile* a : chain.accels) a->set_trace(cfg.trace);
+  }
+  if (cfg.fault != nullptr) {
+    entry.set_fault(cfg.fault);
+    exit.set_fault(cfg.fault);
+    sys.ring().set_fault(cfg.fault);
+  }
+  if (cfg.retry.notify_timeout > 0) entry.set_retry_policy(cfg.retry);
+
   chain.entry = &entry;
   chain.exit = &exit;
   return chain;

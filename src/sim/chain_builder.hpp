@@ -25,6 +25,14 @@ struct ChainConfig {
   Cycle delta = 1;
   std::int64_t ni_capacity = 2;
   Cycle exit_notify_lag = 4;
+  /// Optional event tracing for every component of the chain.
+  TraceLog* trace = nullptr;
+  /// Optional fault injection: wires the gateways (config-bus contention,
+  /// notification delay/drop) and the System's dual ring (stall windows).
+  /// Attach C-FIFO credit-withhold faults per FIFO via CFifo::set_fault.
+  FaultInjector* fault = nullptr;
+  /// Entry-gateway recovery policy (notify_timeout = 0 disables).
+  GatewayRetryPolicy retry{};
 };
 
 /// Handles into an assembled chain.

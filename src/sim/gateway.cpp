@@ -1,5 +1,7 @@
 #include "sim/gateway.hpp"
 
+#include <algorithm>
+
 namespace acc::sim {
 
 EntryGateway::EntryGateway(std::string name, DualRing& ring, std::int32_t node,
@@ -51,6 +53,41 @@ void EntryGateway::record_block_completion(StreamId id, Cycle when) {
 
 void EntryGateway::on_pipeline_idle() { pipeline_idle_ = true; }
 
+void EntryGateway::set_retry_policy(const GatewayRetryPolicy& policy) {
+  ACC_EXPECTS(policy.notify_timeout >= 0 && policy.backoff >= 0);
+  ACC_EXPECTS(policy.max_retries >= 0);
+  retry_ = policy;
+}
+
+void EntryGateway::set_credit_stall_threshold(Cycle threshold) {
+  ACC_EXPECTS(threshold >= 1);
+  credit_stall_threshold_ = threshold;
+}
+
+void EntryGateway::start_draining(Cycle now) {
+  state_ = State::kDraining;
+  retries_ = 0;
+  drain_deadline_ =
+      retry_.notify_timeout > 0 ? now + retry_.notify_timeout : 0;
+}
+
+void EntryGateway::note_credit_stall(Cycle now) {
+  if (credit_stall_since_ < 0) {
+    credit_stall_since_ = now;
+    credit_stall_traced_ = false;
+  }
+  ++stats_.credit_stall_cycles;
+  if (!credit_stall_traced_ &&
+      now - credit_stall_since_ >= credit_stall_threshold_) {
+    ++stats_.credit_stalls;
+    credit_stall_traced_ = true;
+    if (trace_ != nullptr)
+      trace_->record(now, name_, "stall.credit", now - credit_stall_since_);
+  }
+}
+
+void EntryGateway::note_credit_resume(Cycle) { credit_stall_since_ = -1; }
+
 bool EntryGateway::admissible(const StreamRoute& r, Cycle now) const {
   return r.input->fill_visible(now) >= r.eta &&
          r.output->space_visible(now) >= r.out_per_block;
@@ -98,7 +135,17 @@ void EntryGateway::tick(Cycle now) {
         pipeline_idle_ = false;
       } else {
         state_ = State::kReconfig;
-        busy_until_ = now + r.reconfig;
+        Cycle cost = r.reconfig;
+        if (fault_ != nullptr) {
+          // Config-bus contention: the save/restore transfer is delayed.
+          const Cycle extra = fault_->delay(FaultSite::kConfigBus, now);
+          if (extra > 0) {
+            cost += extra;
+            if (trace_ != nullptr)
+              trace_->record(now, name_, "fault.config_bus", extra);
+          }
+        }
+        busy_until_ = now + cost;
         ++stats_.reconfig_cycles;  // this cycle counts as reconfig work
         if (trace_ != nullptr)
           trace_->record(now, name_, "reconfig.start", r.id);
@@ -127,7 +174,11 @@ void EntryGateway::tick(Cycle now) {
         ++stats_.data_cycles;
         if (now < busy_until_) return;
         // DMA cycle done; hand the flit to the network (needs a credit).
-        if (credits_ <= 0) return;  // stall on flow control
+        if (credits_ <= 0) {  // stall on flow control
+          note_credit_stall(now);
+          return;
+        }
+        note_credit_resume(now);
         RingMsg m;
         m.dst = first_node_;
         m.tag = first_tag_;
@@ -138,7 +189,7 @@ void EntryGateway::tick(Cycle now) {
         sample_in_flight_ = false;
         ++stats_.samples_forwarded;
         if (--remaining_ == 0) {
-          state_ = State::kDraining;
+          start_draining(now);
           return;
         }
       }
@@ -158,6 +209,34 @@ void EntryGateway::tick(Cycle now) {
     case State::kDraining: {
       // Waiting for the exit-gateway's pipeline-idle notification.
       ++stats_.wait_cycles;
+      if (!pipeline_idle_ && retry_.notify_timeout > 0 &&
+          now >= drain_deadline_) {
+        // Notification overdue: poll the exit-gateway directly. Bounded
+        // retry with exponential backoff; the interval caps at
+        // 2^max_retries so recovery polls continue (bounded faults must
+        // never deadlock the chain), just ever more lazily.
+        if (retries_ == 0) {
+          ++stats_.notify_timeouts;
+          if (trace_ != nullptr)
+            trace_->record(now, name_, "notify.timeout", streams_[active_].id);
+        }
+        ++stats_.notify_retries;
+        ++retries_;
+        if (exit_->reclaim_notification(now)) {
+          ++stats_.notify_recoveries;
+          if (trace_ != nullptr)
+            trace_->record(now, name_, "notify.recovered",
+                           streams_[active_].id);
+        } else {
+          const Cycle base =
+              retry_.backoff > 0 ? retry_.backoff : retry_.notify_timeout;
+          const int exponent =
+              std::min({retries_, retry_.max_retries, 20});
+          drain_deadline_ = now + (base << exponent);
+          if (trace_ != nullptr)
+            trace_->record(now, name_, "notify.retry", retries_);
+        }
+      }
       if (pipeline_idle_) {
         ++stats_.blocks;
         state_ = State::kIdle;
@@ -229,7 +308,25 @@ void ExitGateway::tick(Cycle now) {
     ++delivered_;
     ACC_CHECK_MSG(expected_ > 0, name_ + ": sample arrived while disarmed");
     if (--expected_ == 0) {
-      notify_at_ = now + notify_lag_;
+      Cycle lag = notify_lag_;
+      bool lost = false;
+      if (fault_ != nullptr) {
+        if (fault_->drop(FaultSite::kExitNotify, now)) {
+          lost = true;
+        } else {
+          lag += fault_->delay(FaultSite::kExitNotify, now);
+        }
+      }
+      if (lost) {
+        // The notification is swallowed: only the entry-gateway's retry
+        // policy can reclaim this block's completion.
+        notify_lost_ = true;
+        ++notify_drops_;
+        if (trace_ != nullptr)
+          trace_->record(now, name_, "fault.notify_drop", stream_);
+      } else {
+        notify_at_ = now + lag;
+      }
       if (trace_ != nullptr)
         trace_->record(now, name_, "block.delivered", stream_);
     }
@@ -242,6 +339,19 @@ void ExitGateway::tick(Cycle now) {
     busy_ = true;
     busy_until_ = now + delta_;
   }
+}
+
+bool ExitGateway::reclaim_notification(Cycle now) {
+  if (expected_ != 0) return false;            // block still in the pipeline
+  if (!notify_at_ && !notify_lost_) return false;  // already delivered
+  notify_at_.reset();
+  notify_lost_ = false;
+  ACC_CHECK(entry_ != nullptr);
+  if (trace_ != nullptr)
+    trace_->record(now, name_, "notify.reclaimed", stream_);
+  entry_->record_block_completion(stream_, now);
+  entry_->on_pipeline_idle();
+  return true;
 }
 
 }  // namespace acc::sim

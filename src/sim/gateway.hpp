@@ -27,6 +27,7 @@
 #include "sim/accel_tile.hpp"
 #include "sim/cfifo.hpp"
 #include "sim/component.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
 
 namespace acc::sim {
@@ -56,6 +57,26 @@ struct GatewayStats {
   Cycle data_cycles = 0;      // cycles spent DMAing samples
   Cycle reconfig_cycles = 0;  // cycles spent on the configuration bus
   Cycle wait_cycles = 0;      // admissible-but-draining or starved cycles
+  // Robustness counters (see GatewayRetryPolicy and docs/robustness.md).
+  std::int64_t notify_timeouts = 0;    // drain windows that hit the timeout
+  std::int64_t notify_retries = 0;     // recovery polls issued
+  std::int64_t notify_recoveries = 0;  // lost/late notifications reclaimed
+  std::int64_t credit_stalls = 0;      // credit-starvation episodes traced
+  Cycle credit_stall_cycles = 0;       // cycles stalled on hardware credits
+};
+
+/// Graceful degradation against lost or late pipeline-idle notifications:
+/// if the entry-gateway drains for `notify_timeout` cycles without hearing
+/// from the exit-gateway, it polls the exit directly and reclaims the
+/// notification if the block has in fact fully left the pipeline. Polls
+/// back off exponentially; after `max_retries` doublings the interval stays
+/// at its cap, so a chain under BOUNDED faults recovers and never
+/// deadlocks. notify_timeout = 0 disables recovery (seed behaviour).
+struct GatewayRetryPolicy {
+  Cycle notify_timeout = 0;
+  int max_retries = 8;
+  /// First retry interval; 0 = reuse notify_timeout.
+  Cycle backoff = 0;
 };
 
 class EntryGateway final : public Component {
@@ -81,6 +102,12 @@ class EntryGateway final : public Component {
 
   /// Opt-in event tracing (admissions, reconfigurations, completions).
   void set_trace(TraceLog* trace) { trace_ = trace; }
+  /// Opt-in fault injection: config-bus contention on context switches.
+  void set_fault(FaultInjector* injector) { fault_ = injector; }
+  /// Enable notification-timeout recovery (see GatewayRetryPolicy).
+  void set_retry_policy(const GatewayRetryPolicy& policy);
+  /// Consecutive credit-starved cycles before a "stall.credit" trace event.
+  void set_credit_stall_threshold(Cycle threshold);
 
   /// Called by the exit-gateway (via its notification latency) when the
   /// last output sample of the active block has been delivered.
@@ -100,6 +127,9 @@ class EntryGateway final : public Component {
   enum class State { kIdle, kReconfig, kStreaming, kDraining };
 
   [[nodiscard]] bool admissible(const StreamRoute& r, Cycle now) const;
+  void start_draining(Cycle now);
+  void note_credit_stall(Cycle now);
+  void note_credit_resume(Cycle now);
 
   std::string name_;
   DualRing& ring_;
@@ -123,6 +153,14 @@ class EntryGateway final : public Component {
   bool sample_in_flight_ = false; // DMA busy on one sample
   bool pipeline_idle_ = true;
   TraceLog* trace_ = nullptr;
+  FaultInjector* fault_ = nullptr;
+
+  GatewayRetryPolicy retry_;
+  Cycle drain_deadline_ = 0;      // next recovery poll while draining
+  int retries_ = 0;               // polls issued for the current block
+  Cycle credit_stall_threshold_ = 32;
+  Cycle credit_stall_since_ = -1; // -1 = not currently starved
+  bool credit_stall_traced_ = false;
 
   GatewayStats stats_;
 };
@@ -137,6 +175,9 @@ class ExitGateway final : public Component {
 
   void set_entry(EntryGateway* entry) { entry_ = entry; }
   void set_trace(TraceLog* trace) { trace_ = trace; }
+  /// Opt-in fault injection: pipeline-idle notifications may be delayed or
+  /// dropped (kExitNotify) — the entry-gateway's retry policy recovers.
+  void set_fault(FaultInjector* injector) { fault_ = injector; }
   /// Upstream producer (last accelerator of the chain) for credit returns.
   void set_upstream(std::int32_t node, std::uint32_t tag);
 
@@ -146,10 +187,19 @@ class ExitGateway final : public Component {
 
   void tick(Cycle now) override;
 
+  /// Entry-gateway recovery poll: if the active block has fully left the
+  /// pipeline but its notification is still pending or was lost, deliver
+  /// the completion right now and return true.
+  bool reclaim_notification(Cycle now);
+
   [[nodiscard]] std::int32_t node() const { return node_; }
   [[nodiscard]] std::int64_t ni_capacity() const { return ni_capacity_; }
   [[nodiscard]] std::int64_t samples_delivered() const { return delivered_; }
   [[nodiscard]] bool idle() const { return expected_ == 0; }
+  /// Notifications lost to fault injection (recovered ones included).
+  [[nodiscard]] std::int64_t notifications_dropped() const {
+    return notify_drops_;
+  }
 
  private:
   std::string name_;
@@ -171,10 +221,13 @@ class ExitGateway final : public Component {
 
   StreamId stream_ = -1;
   TraceLog* trace_ = nullptr;
+  FaultInjector* fault_ = nullptr;
   CFifo* output_ = nullptr;
   std::int64_t expected_ = 0;
   std::int64_t delivered_ = 0;
   std::optional<Cycle> notify_at_;
+  bool notify_lost_ = false;  // fault swallowed the notification
+  std::int64_t notify_drops_ = 0;
 };
 
 }  // namespace acc::sim

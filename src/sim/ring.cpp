@@ -1,5 +1,7 @@
 #include "sim/ring.hpp"
 
+#include "sim/fault.hpp"
+
 namespace acc::sim {
 
 Ring::Ring(std::int32_t nodes, bool clockwise)
@@ -26,7 +28,25 @@ std::vector<RingMsg> Ring::drain(std::int32_t node) {
   return out;
 }
 
+void Ring::set_fault(FaultInjector* injector, FaultSite site) {
+  fault_ = injector;
+  fault_site_ = site;
+}
+
 void Ring::tick() {
+  const Cycle now = now_++;
+  if (now < stall_until_) {
+    ++stall_cycles_;
+    return;
+  }
+  if (fault_ != nullptr) {
+    const Cycle d = fault_->delay(fault_site_, now);
+    if (d > 0) {
+      stall_until_ = now + d;
+      ++stall_cycles_;
+      return;
+    }
+  }
   const auto n = static_cast<std::int32_t>(slots_.size());
   // Rotate slots one hop: slot at node i moves to node i+1 (clockwise) or
   // i-1 (counter-clockwise).
@@ -52,6 +72,11 @@ void Ring::tick() {
       s.occupied = true;
     }
   }
+}
+
+void DualRing::set_fault(FaultInjector* injector) {
+  data_.set_fault(injector, FaultSite::kRingLink);
+  credit_.set_fault(injector, FaultSite::kRingLink);
 }
 
 }  // namespace acc::sim

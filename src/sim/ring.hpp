@@ -21,6 +21,9 @@ namespace acc::sim {
 
 using Cycle = std::int64_t;
 
+class FaultInjector;
+enum class FaultSite : int;
+
 struct RingMsg {
   std::int32_t dst = -1;
   std::uint32_t tag = 0;  // channel / stream discriminator, component-defined
@@ -40,14 +43,23 @@ class Ring {
   /// Messages ejected at `node` since last drained. Caller takes ownership.
   [[nodiscard]] std::vector<RingMsg> drain(std::int32_t node);
 
-  /// Advance every slot one hop; eject and inject at each node.
+  /// Advance every slot one hop; eject and inject at each node. While a
+  /// fault-injected stall window is open the ring freezes: no rotation, no
+  /// ejection, no drain of the injection queues (messages are delayed,
+  /// never lost — the paper's interconnect stays lossless under faults).
   void tick();
+
+  /// Opt-in fault injection: consult `injector` at `site` once per tick
+  /// for a stall window (see sim/fault.hpp).
+  void set_fault(FaultInjector* injector, FaultSite site);
 
   [[nodiscard]] std::int32_t nodes() const {
     return static_cast<std::int32_t>(slots_.size());
   }
   /// Total messages delivered (stats).
   [[nodiscard]] std::int64_t delivered() const { return delivered_; }
+  /// Cycles lost to fault-injected stall windows.
+  [[nodiscard]] Cycle stall_cycles() const { return stall_cycles_; }
 
  private:
   struct Slot {
@@ -62,6 +74,11 @@ class Ring {
   std::vector<std::vector<RingMsg>> ejected_;
   bool clockwise_;
   std::int64_t delivered_ = 0;
+  Cycle now_ = 0;  // internal tick counter (fault windows are cycle-based)
+  FaultInjector* fault_ = nullptr;
+  FaultSite fault_site_{};
+  Cycle stall_until_ = 0;
+  Cycle stall_cycles_ = 0;
 };
 
 /// The paper's dual ring: data one way, credits the other way.
@@ -72,6 +89,10 @@ class DualRing {
 
   Ring& data() { return data_; }
   Ring& credit() { return credit_; }
+
+  /// Wire both rings to one injector's kRingLink site (a stall models
+  /// link-level contention hitting the physical ring pair).
+  void set_fault(FaultInjector* injector);
 
   void tick() {
     data_.tick();

@@ -24,6 +24,10 @@ std::string TraceLog::to_csv() const {
   for (const TraceEvent& e : events_)
     os << e.cycle << ',' << e.source << ',' << e.event << ',' << e.value
        << '\n';
+  if (dropped_ > 0) {
+    const Cycle last = events_.empty() ? 0 : events_.back().cycle;
+    os << last << ",trace,truncated," << dropped_ << '\n';
+  }
   return os.str();
 }
 

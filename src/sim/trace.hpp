@@ -41,13 +41,19 @@ class TraceLog {
     return events_;
   }
   [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t max_events() const { return max_events_; }
+  /// True when the cap was hit: events() is a truncated view of the run.
+  [[nodiscard]] bool truncated() const { return dropped_ > 0; }
 
   /// Events from one source, in order.
   [[nodiscard]] std::vector<TraceEvent> from(std::string_view source) const;
   /// Events of one kind, in order.
   [[nodiscard]] std::vector<TraceEvent> of(std::string_view event) const;
 
-  /// "cycle,source,event,value" lines with a header row.
+  /// "cycle,source,event,value" lines with a header row. A truncated log
+  /// (events dropped at the cap) ends with a marker row
+  /// "<last cycle>,trace,truncated,<dropped count>" so downstream tooling
+  /// can tell a short run from a silently clipped one.
   [[nodiscard]] std::string to_csv() const;
 
  private:

@@ -1,0 +1,78 @@
+// ISSUE 2 acceptance criteria, pinned under ctest with a fixed seed:
+//  - a campaign whose injected delays stay inside the declared envelope
+//    reports zero genuine breaches (all violations covered by slack), and
+//  - a campaign operating beyond the envelope (dropped notifications, whose
+//    recovery cost is the retry timeout) detects at least one genuine breach.
+#include "app/fault_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bench_schema.hpp"
+
+namespace acc::app {
+namespace {
+
+FaultCampaignConfig test_config() {
+  FaultCampaignConfig cfg;  // defaults: small PAL config, seed 0x5EED
+  return cfg;
+}
+
+TEST(FaultCampaign, BaselineIsFaultFreeAndConforming) {
+  FaultCampaignConfig cfg = test_config();
+  cfg.levels = {{"baseline", 0.0, false}};
+  const FaultCampaignResult res = run_fault_campaign(cfg);
+  ASSERT_EQ(res.points.size(), 1u);
+  const FaultPointResult& p = res.points[0];
+  EXPECT_EQ(p.faults_injected, 0);
+  EXPECT_EQ(p.violations, 0);
+  EXPECT_EQ(p.genuine_breaches, 0);
+  EXPECT_GT(p.blocks_checked, 0);
+  EXPECT_EQ(p.sink_underruns, 0);
+}
+
+TEST(FaultCampaign, DelaysWithinEnvelopeAreCoveredBySlack) {
+  FaultCampaignConfig cfg = test_config();
+  cfg.levels = {{"light", 0.25, false},
+                {"moderate", 1.0, false},
+                {"heavy", 2.0, false}};
+  const FaultCampaignResult res = run_fault_campaign(cfg);
+  ASSERT_EQ(res.points.size(), 3u);
+  std::int64_t total_faults = 0;
+  std::int64_t total_violations = 0;
+  for (const FaultPointResult& p : res.points) {
+    total_faults += p.faults_injected;
+    total_violations += p.violations;
+    EXPECT_EQ(p.genuine_breaches, 0) << p.level.label;
+    EXPECT_EQ(p.covered_by_slack, p.violations) << p.level.label;
+    EXPECT_GT(p.fault_slack, 0) << p.level.label;
+  }
+  // The campaign must actually stress the system, not vacuously pass.
+  EXPECT_GT(total_faults, 0);
+  EXPECT_GT(total_violations, 0);
+}
+
+TEST(FaultCampaign, DroppedNotificationsBreachTheEnvelope) {
+  FaultCampaignConfig cfg = test_config();
+  cfg.levels = {{"lossy", 1.0, true}};
+  const FaultCampaignResult res = run_fault_campaign(cfg);
+  ASSERT_EQ(res.points.size(), 1u);
+  const FaultPointResult& p = res.points[0];
+  EXPECT_GT(p.notifications_dropped, 0);
+  // Retry recovery costs ~notify_timeout cycles — outside the envelope.
+  EXPECT_GE(p.genuine_breaches, 1);
+  // The gateway recovered rather than deadlocking: blocks kept completing.
+  EXPECT_GT(p.notify_recoveries, 0);
+  EXPECT_GT(p.blocks_checked, 0);
+}
+
+TEST(FaultCampaign, BenchDocMatchesSchema) {
+  FaultCampaignConfig cfg = test_config();
+  const FaultCampaignResult res = run_fault_campaign(cfg);
+  const json::Value doc = faults_bench_doc(cfg, res);
+  const std::vector<std::string> problems = validate_bench_faults(doc);
+  EXPECT_TRUE(problems.empty())
+      << (problems.empty() ? "" : problems.front());
+}
+
+}  // namespace
+}  // namespace acc::app

@@ -1,0 +1,78 @@
+// ISSUE 2 satellite 4: golden-schema tests for the machine-readable bench
+// documents. The benches write BENCH_dse.json / BENCH_faults.json; these
+// tests pin the exact shape by validating docs produced by the very code
+// the benches call, plus negative cases for each failure class the
+// validator reports (missing key, wrong type, wrong bench id).
+#include "common/bench_schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/fault_campaign.hpp"
+#include "sharing/bench_doc.hpp"
+
+namespace acc {
+namespace {
+
+json::Value small_dse_doc() {
+  json::Array runs;
+  runs.push_back(
+      json::Value(sharing::dse_run(sharing::DseWorkload::small(), 1)));
+  return sharing::dse_bench_doc(std::move(runs));
+}
+
+json::Value small_faults_doc() {
+  app::FaultCampaignConfig cfg;
+  cfg.levels = {{"baseline", 0.0, false}};
+  const app::FaultCampaignResult res = app::run_fault_campaign(cfg);
+  return app::faults_bench_doc(cfg, res);
+}
+
+TEST(BenchSchema, DseDocFromBenchCodeValidates) {
+  const std::vector<std::string> problems = validate_bench_dse(small_dse_doc());
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(BenchSchema, FaultsDocFromBenchCodeValidates) {
+  const std::vector<std::string> problems =
+      validate_bench_faults(small_faults_doc());
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(BenchSchema, DetectsMissingKey) {
+  json::Value doc = small_dse_doc();
+  doc.as_object().erase("hardware_threads");
+  const std::vector<std::string> problems = validate_bench_dse(doc);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("hardware_threads"), std::string::npos);
+}
+
+TEST(BenchSchema, DetectsWrongType) {
+  json::Value doc = small_dse_doc();
+  doc.as_object()["runs"].as_array()[0].as_object()["simulations"] = "many";
+  EXPECT_FALSE(validate_bench_dse(doc).empty());
+}
+
+TEST(BenchSchema, DetectsWrongBenchId) {
+  json::Value faults = small_faults_doc();
+  // A faults doc is not a DSE doc and vice versa.
+  EXPECT_FALSE(validate_bench_dse(faults).empty());
+  json::Value dse = small_dse_doc();
+  EXPECT_FALSE(validate_bench_faults(dse).empty());
+}
+
+TEST(BenchSchema, DetectsMissingPointKeyInFaultsDoc) {
+  json::Value doc = small_faults_doc();
+  doc.as_object()["points"].as_array()[0].as_object().erase(
+      "genuine_breaches");
+  const std::vector<std::string> problems = validate_bench_faults(doc);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("genuine_breaches"), std::string::npos);
+}
+
+TEST(BenchSchema, DetectsEmptyRuns) {
+  json::Value doc = sharing::dse_bench_doc(json::Array{});
+  EXPECT_FALSE(validate_bench_dse(doc).empty());
+}
+
+}  // namespace
+}  // namespace acc

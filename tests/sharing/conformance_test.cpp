@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "accel/kernel.hpp"
+#include "sharing/analysis.hpp"
 #include "sim/chain_builder.hpp"
 #include "sim/proc_tile.hpp"
 
@@ -116,6 +117,80 @@ TEST(Conformance, DetectsRoundRobinViolation) {
   bool found = false;
   for (const auto& v : rep.violations) found |= v.rule == "round_robin";
   EXPECT_TRUE(found);
+}
+
+// --- Covered-by-slack vs genuine-breach classification ------------------
+
+SharedSystemSpec one_stream_spec() {
+  SharedSystemSpec spec;
+  spec.chain.accel_cycles_per_sample = {1};
+  spec.chain.entry_cycles_per_sample = 2;
+  spec.chain.exit_cycles_per_sample = 1;
+  spec.streams = {{"s0", Rational(1, 16), 20}};
+  return spec;
+}
+
+TEST(ConformanceClassification, ExcessWithinFaultSlackIsCovered) {
+  const SharedSystemSpec spec = one_stream_spec();
+  const Time bound = tau_hat(spec, 0, 16);
+  ConformanceOptions opts;
+  opts.slack = 16;
+  opts.fault_slack = 100;
+  sim::TraceLog trace;
+  trace.record(0, "gw", "admit", 0);
+  trace.record(bound + opts.slack + 40, "gw", "block.done", 0);  // excess 40
+  const ConformanceReport rep = check_conformance(spec, {16}, trace, opts);
+  // Still a violation of the zero-fault model...
+  EXPECT_FALSE(rep.conforms);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  // ...but the declared fault envelope explains it.
+  EXPECT_TRUE(rep.violations[0].covered_by_slack);
+  EXPECT_EQ(rep.violations[0].excess, 40);
+  EXPECT_EQ(rep.covered_by_slack, 1);
+  EXPECT_EQ(rep.genuine_breaches, 0);
+  EXPECT_EQ(rep.max_excess, 40);
+}
+
+TEST(ConformanceClassification, ExcessBeyondFaultSlackIsGenuine) {
+  const SharedSystemSpec spec = one_stream_spec();
+  const Time bound = tau_hat(spec, 0, 16);
+  ConformanceOptions opts;
+  opts.slack = 16;
+  opts.fault_slack = 100;
+  sim::TraceLog trace;
+  trace.record(0, "gw", "admit", 0);
+  trace.record(bound + opts.slack + 101, "gw", "block.done", 0);
+  const ConformanceReport rep = check_conformance(spec, {16}, trace, opts);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_FALSE(rep.violations[0].covered_by_slack);
+  EXPECT_EQ(rep.covered_by_slack, 0);
+  EXPECT_EQ(rep.genuine_breaches, 1);
+}
+
+TEST(ConformanceClassification, OrphanCompletionIsAlwaysGenuine) {
+  const SharedSystemSpec spec = one_stream_spec();
+  ConformanceOptions opts;
+  opts.fault_slack = 1 << 20;  // no envelope excuses a phantom block
+  sim::TraceLog trace;
+  trace.record(50, "gw", "block.done", 0);
+  const ConformanceReport rep = check_conformance(spec, {16}, trace, opts);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_FALSE(rep.violations[0].covered_by_slack);
+  EXPECT_EQ(rep.genuine_breaches, 1);
+}
+
+TEST(ConformanceClassification, LegacyOverloadMeansZeroFaultSlack) {
+  const SharedSystemSpec spec = one_stream_spec();
+  const Time bound = tau_hat(spec, 0, 16);
+  sim::TraceLog trace;
+  trace.record(0, "gw", "admit", 0);
+  trace.record(bound + 16 + 40, "gw", "block.done", 0);
+  // Legacy call site: every violation counts as genuine.
+  const ConformanceReport rep = check_conformance(spec, {16}, trace, 16);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_FALSE(rep.violations[0].covered_by_slack);
+  EXPECT_EQ(rep.genuine_breaches, 1);
+  EXPECT_EQ(rep.covered_by_slack, 0);
 }
 
 }  // namespace

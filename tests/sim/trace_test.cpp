@@ -39,6 +39,29 @@ TEST(TraceLog, BoundedCapacityDropsAndCounts) {
   log.record(3, "a", "x");
   EXPECT_EQ(log.events().size(), 2u);
   EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_TRUE(log.truncated());
+}
+
+TEST(TraceLog, CsvMarksTruncation) {
+  TraceLog log(2);
+  log.record(1, "a", "x", 0);
+  log.record(4, "a", "x", 0);
+  log.record(9, "a", "x", 0);
+  log.record(9, "a", "x", 0);
+  ASSERT_TRUE(log.truncated());
+  const std::string csv = log.to_csv();
+  // Marker row: last retained cycle, synthetic source/event, dropped count.
+  EXPECT_NE(csv.find("4,trace,truncated,2\n"), std::string::npos);
+  // The marker is the final line so the CSV stays cycle-sorted.
+  const auto pos = csv.rfind("4,trace,truncated,2\n");
+  EXPECT_EQ(pos + std::string("4,trace,truncated,2\n").size(), csv.size());
+}
+
+TEST(TraceLog, CsvOmitsMarkerWhenComplete) {
+  TraceLog log(8);
+  log.record(1, "a", "x", 0);
+  EXPECT_FALSE(log.truncated());
+  EXPECT_EQ(log.to_csv().find("truncated"), std::string::npos);
 }
 
 // The gateway/accelerator event protocol on a real run: for every block,
