@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "app/sim_bench.hpp"
 #include "common/bench_schema.hpp"
 #include "common/json.hpp"
 #include "dataflow/buffer_sizing.hpp"
@@ -128,7 +129,10 @@ void BM_CsdfModelExecution(benchmark::State& state) {
 BENCHMARK(BM_CsdfModelExecution)->Arg(64)->Arg(1024);
 
 /// Simulator speed: cycles/second on a ring + gateway + accelerator system.
+/// Arg(0) = event-horizon stepper (System::run), Arg(1) = legacy dense loop
+/// (System::run_dense) — the pair shows the quiescent-skip win in isolation.
 void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
+  const bool dense = state.range(0) != 0;
   for (auto _ : state) {
     state.PauseTiming();
     sim::System sys(4);
@@ -162,12 +166,18 @@ void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
     std::vector<sim::Flit> payload(4096, 7);
     sys.add<sim::SourceTile>("src", in, payload, 4);
     state.ResumeTiming();
-    sys.run(50000);
+    if (dense)
+      sys.run_dense(50000);
+    else
+      sys.run(50000);
     benchmark::DoNotOptimize(sys.now());
   }
   state.SetItemsProcessed(state.iterations() * 50000);  // cycles/sec
 }
-BENCHMARK(BM_SimulatorCyclesPerSecond);
+BENCHMARK(BM_SimulatorCyclesPerSecond)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("dense");
 
 /// Machine-readable perf trajectory of the DSE engine: BENCH_dse.json with
 /// wall time, simulation count, cache hit rate and pruning wins for jobs=1
@@ -204,12 +214,55 @@ void emit_dse_json(int jobs, const std::string& path) {
   }
 }
 
+/// Machine-readable perf trajectory of the SIMULATOR: BENCH_sim.json with
+/// cycles/second of the dense and event-horizon steppers on the full PAL
+/// decoder, plus the outcome digest proving they agreed. Returns false on a
+/// schema violation or a dense/event divergence — the `sim_perf` ctest
+/// entry (label "perf") fails on that, never on the speedup itself, so CI
+/// stays free of machine-load flake while still pinning correctness.
+bool emit_sim_json(bool fast, const std::string& path) {
+  const app::PalSimConfig pal = app::sim_bench_pal_config(fast);
+  const app::SimBenchRun dense = app::sim_bench_run(pal, /*dense=*/true);
+  const app::SimBenchRun event = app::sim_bench_run(pal, /*dense=*/false);
+  const json::Value doc = app::sim_bench_doc(pal, dense, event);
+
+  const std::vector<std::string> problems = validate_bench_sim(doc);
+  if (!problems.empty()) {
+    std::cout << "ERROR: BENCH_sim.json violates its schema:\n";
+    for (const std::string& p : problems) std::cout << "  " << p << "\n";
+  }
+
+  std::ofstream out(path);
+  out << doc.pretty() << "\n";
+  out.flush();
+  if (out)
+    std::cout << "wrote " << path << "\n";
+  else
+    std::cout << "WARNING: could not write " << path << "\n";
+  for (const json::Value& r : doc.at("runs").as_array()) {
+    std::cout << "  pal decoder, " << r.at("mode").as_string() << ": "
+              << r.at("wall_ms").as_double() << " ms, "
+              << r.at("cycles_per_sec").as_double() << " cycles/s ("
+              << r.at("dense_ticks").as_int() << " dense ticks, "
+              << r.at("skipped_cycles").as_int() << " cycles skipped in "
+              << r.at("skips").as_int() << " jumps)\n";
+  }
+  std::cout << "  event/dense speedup: " << doc.at("speedup").as_double()
+            << ", outcome "
+            << (doc.at("equivalent").as_bool() ? "identical" : "DIVERGED")
+            << "\n";
+  return problems.empty();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Strip our flags before google-benchmark parses the rest.
   int jobs = 4;
   std::string json_path = "BENCH_dse.json";
+  std::string sim_json_path = "BENCH_sim.json";
+  bool sim_fast = false;
+  bool sim_only = false;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -217,11 +270,20 @@ int main(int argc, char** argv) {
       jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--dse-json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sim-json") == 0 && i + 1 < argc) {
+      sim_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sim-fast") == 0) {
+      sim_fast = true;
+    } else if (std::strcmp(argv[i], "--sim-only") == 0) {
+      sim_only = true;
     } else {
       rest.push_back(argv[i]);
     }
   }
+  if (sim_only) return emit_sim_json(sim_fast, sim_json_path) ? 0 : 1;
+
   emit_dse_json(jobs, json_path);
+  if (!emit_sim_json(sim_fast, sim_json_path)) return 1;
 
   int rest_argc = static_cast<int>(rest.size());
   benchmark::Initialize(&rest_argc, rest.data());

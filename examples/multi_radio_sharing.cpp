@@ -13,6 +13,7 @@
 // other's real-time behaviour.
 //
 // Build & run:  ./build/examples/multi_radio_sharing
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 
@@ -149,7 +150,13 @@ int main() {
                                   CQ16{Q16::from_double(d / M_PI), Q16{}}));
           return 40;  // software atan2 is not cheap
         },
-        /*budget=*/128});
+        /*budget=*/128,
+        /*priority=*/0,
+        /*next_ready=*/
+        [&, k](sim::Cycle now) -> sim::Cycle {
+          return std::max(mids[k]->when_fill_visible(1, now),
+                          audio[k]->when_space_visible(1, now));
+        }});
   }
 
   // ---- Run and report. ----

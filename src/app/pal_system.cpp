@@ -203,7 +203,7 @@ PalSimResult run_pal_decoder(const PalSimConfig& cfg) {
   const double fs1 = cfg.sample_rate / cfg.decimation;
   const Q16 gain = Q16::from_double(fs1 / (2.0 * cfg.deviation_hz));
   auto& cpu = sys.add<sim::ProcessorTile>("pt.recon", /*replenish=*/256);
-  cpu.add_task(sim::Task{
+  sim::Task recon{
       "reconstruct",
       [&, gain](sim::Cycle now) -> sim::Cycle {
         if (!audio1.can_pop(now) || !audio2.can_pop(now)) return 0;
@@ -217,7 +217,17 @@ PalSimResult run_pal_decoder(const PalSimConfig& cfg) {
         out_r.push(now, sim::pack_sample(CQ16{r, Q16{}}));
         return 24;  // cycles per reconstruction
       },
-      /*budget=*/192});
+      /*budget=*/192};
+  // Horizon hint mirroring the invoke's guards: runnable once one sample is
+  // visible on both audio FIFOs and one slot on both DAC FIFOs (each
+  // condition is monotone while the system is frozen, so the max is exact).
+  recon.next_ready = [&](sim::Cycle now) -> sim::Cycle {
+    return std::max({audio1.when_fill_visible(1, now),
+                     audio2.when_fill_visible(1, now),
+                     out_l.when_space_visible(1, now),
+                     out_r.when_space_visible(1, now)});
+  };
+  cpu.add_task(std::move(recon));
 
   // DACs: hard real-time consumers at the audio rate. Audio arrives in
   // bursts of `burst` samples once per gateway round, so the DAC buffers a
@@ -234,10 +244,19 @@ PalSimResult run_pal_decoder(const PalSimConfig& cfg) {
   // front-end stops are just the end of the broadcast. ----
   const sim::Cycle feed =
       static_cast<sim::Cycle>(cfg.input_samples) * cfg.input_period;
-  sys.run(feed);
+  if (cfg.dense_stepper) {
+    sys.run_dense(feed);
+  } else {
+    sys.run(feed);
+  }
   const std::int64_t feed_underruns = dac_l.underruns() + dac_r.underruns();
-  sys.run(8 * res.gamma);
+  if (cfg.dense_stepper) {
+    sys.run_dense(8 * res.gamma);
+  } else {
+    sys.run(8 * res.gamma);
+  }
   res.cycles_run = sys.now();
+  res.stepper = sys.stepper_stats();
 
   // ---- Collect results. ----
   res.audio_rate = cfg.sample_rate / (cfg.decimation * cfg.decimation);
@@ -362,7 +381,7 @@ PalSimResult run_pal_decoder_dedicated(const PalSimConfig& cfg) {
   const double fs1 = cfg.sample_rate / cfg.decimation;
   const Q16 gain = Q16::from_double(fs1 / (2.0 * cfg.deviation_hz));
   auto& cpu = sys.add<sim::ProcessorTile>("pt.recon", 256);
-  cpu.add_task(sim::Task{
+  sim::Task recon{
       "reconstruct",
       [&, gain](sim::Cycle now) -> sim::Cycle {
         if (!audio1.can_pop(now) || !audio2.can_pop(now)) return 0;
@@ -376,7 +395,14 @@ PalSimResult run_pal_decoder_dedicated(const PalSimConfig& cfg) {
         out_r.push(now, sim::pack_sample(CQ16{r, Q16{}}));
         return 24;
       },
-      192});
+      192};
+  recon.next_ready = [&](sim::Cycle now) -> sim::Cycle {
+    return std::max({audio1.when_fill_visible(1, now),
+                     audio2.when_fill_visible(1, now),
+                     out_l.when_space_visible(1, now),
+                     out_r.when_space_visible(1, now)});
+  };
+  cpu.add_task(std::move(recon));
 
   const sim::Cycle audio_period =
       cfg.input_period * cfg.decimation * cfg.decimation;
@@ -387,10 +413,19 @@ PalSimResult run_pal_decoder_dedicated(const PalSimConfig& cfg) {
 
   const sim::Cycle feed =
       static_cast<sim::Cycle>(cfg.input_samples) * cfg.input_period;
-  sys.run(feed);
+  if (cfg.dense_stepper) {
+    sys.run_dense(feed);
+  } else {
+    sys.run(feed);
+  }
   const std::int64_t feed_underruns = dac_l.underruns() + dac_r.underruns();
-  sys.run(64 * eta2 * cfg.input_period);
+  if (cfg.dense_stepper) {
+    sys.run_dense(64 * eta2 * cfg.input_period);
+  } else {
+    sys.run(64 * eta2 * cfg.input_period);
+  }
   res.cycles_run = sys.now();
+  res.stepper = sys.stepper_stats();
 
   res.audio_rate = cfg.sample_rate / (cfg.decimation * cfg.decimation);
   for (sim::Flit f : dac_l.received())

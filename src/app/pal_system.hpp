@@ -21,6 +21,7 @@
 #include "sharing/spec.hpp"
 #include "sim/fault.hpp"
 #include "sim/gateway.hpp"
+#include "sim/system.hpp"
 #include "sim/trace.hpp"
 
 namespace acc::app {
@@ -67,6 +68,11 @@ struct PalSimConfig {
   sim::Cycle notify_timeout = 0;
   int notify_max_retries = 8;
   sim::Cycle notify_backoff = 0;
+
+  /// Step with the legacy dense loop (System::run_dense) instead of the
+  /// event-horizon stepper. Cycle-exact either way — this switch exists for
+  /// equivalence tests and the E9 dense-vs-event benchmark.
+  bool dense_stepper = false;
 };
 
 struct PalSimResult {
@@ -96,6 +102,8 @@ struct PalSimResult {
   sim::Cycle cordic_busy = 0;
   sim::Cycle fir_busy = 0;
   sim::Cycle cycles_run = 0;
+  /// Stepper instrumentation (dense ticks vs skipped cycles).
+  sim::StepperStats stepper;
   /// Per-stream block completion counts (round-robin fairness check).
   std::vector<std::int64_t> blocks_per_stream;
 };

@@ -1,0 +1,116 @@
+#include "app/sim_bench.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+namespace acc::app {
+namespace {
+
+/// Deterministic digest of the decoded audio: FNV-1a over each channel's
+/// samples quantized to 16 fractional bits. Exact (not tolerance-based), so
+/// digest equality means the two steppers produced bit-identical DAC input.
+std::int64_t audio_checksum(const PalSimResult& res) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  const auto mix = [&h](const std::vector<double>& ch) {
+    for (double v : ch) {
+      const auto q = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(std::llround(v * 65536.0)));
+      for (int i = 0; i < 8; ++i) {
+        h ^= (q >> (8 * i)) & 0xffULL;
+        h *= 1099511628211ULL;  // FNV prime
+      }
+    }
+  };
+  mix(res.left);
+  mix(res.right);
+  return static_cast<std::int64_t>(h);
+}
+
+std::int64_t total_blocks(const PalSimResult& res) {
+  std::int64_t n = 0;
+  for (std::int64_t b : res.blocks_per_stream) n += b;
+  return n;
+}
+
+json::Object run_to_json(const SimBenchRun& r) {
+  json::Object o;
+  o["mode"] = r.mode;
+  o["wall_ms"] = r.wall_ms;
+  o["cycles"] = r.cycles;
+  o["cycles_per_sec"] = r.cycles_per_sec;
+  o["dense_ticks"] = r.dense_ticks;
+  o["skips"] = r.skips;
+  o["skipped_cycles"] = r.skipped_cycles;
+  o["sink_samples"] = r.sink_samples;
+  o["source_drops"] = r.source_drops;
+  o["sink_underruns"] = r.sink_underruns;
+  o["blocks"] = r.blocks;
+  o["audio_checksum"] = r.audio_checksum;
+  return o;
+}
+
+}  // namespace
+
+PalSimConfig sim_bench_pal_config(bool fast) {
+  PalSimConfig cfg;
+  // The paper's demonstrator, unmodified — the bench measures the stepper,
+  // not a synthetic workload. Fast mode only shortens the input.
+  // Fast mode must still push real audio through the chain (the stage-1
+  // block is eta ~ 2672 samples), so the outcome digest compares non-empty
+  // sample streams, not two empty sinks.
+  cfg.input_samples = fast ? (1 << 13) : (1 << 16);
+  return cfg;
+}
+
+SimBenchRun sim_bench_run(const PalSimConfig& pal, bool dense) {
+  PalSimConfig cfg = pal;
+  cfg.dense_stepper = dense;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const PalSimResult res = run_pal_decoder(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SimBenchRun r;
+  r.mode = dense ? "dense" : "event";
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.cycles = res.cycles_run;
+  r.cycles_per_sec =
+      r.wall_ms > 0.0 ? static_cast<double>(r.cycles) / (r.wall_ms / 1000.0)
+                      : 0.0;
+  r.dense_ticks = res.stepper.dense_ticks;
+  r.skips = res.stepper.skips;
+  r.skipped_cycles = res.stepper.skipped_cycles;
+  r.sink_samples = static_cast<std::int64_t>(res.left.size() +
+                                             res.right.size());
+  r.source_drops = res.source_drops;
+  r.sink_underruns = res.sink_underruns;
+  r.blocks = total_blocks(res);
+  r.audio_checksum = audio_checksum(res);
+  return r;
+}
+
+json::Value sim_bench_doc(const PalSimConfig& pal, const SimBenchRun& dense,
+                          const SimBenchRun& event) {
+  json::Object workload;
+  workload["input_samples"] = static_cast<std::int64_t>(pal.input_samples);
+  workload["input_period"] = static_cast<std::int64_t>(pal.input_period);
+  workload["reconfig"] = static_cast<std::int64_t>(pal.reconfig);
+
+  json::Array runs;
+  runs.emplace_back(run_to_json(dense));
+  runs.emplace_back(run_to_json(event));
+
+  json::Object doc;
+  doc["bench"] = "sim";
+  doc["workload"] = std::move(workload);
+  doc["runs"] = std::move(runs);
+  doc["speedup"] = dense.cycles_per_sec > 0.0
+                       ? event.cycles_per_sec / dense.cycles_per_sec
+                       : 0.0;
+  doc["equivalent"] = dense.same_outcome(event);
+  return json::Value(std::move(doc));
+}
+
+}  // namespace acc::app

@@ -149,4 +149,57 @@ std::vector<std::string> validate_bench_faults(const json::Value& doc) {
   return problems;
 }
 
+std::vector<std::string> validate_bench_sim(const json::Value& doc) {
+  std::vector<std::string> problems;
+  const json::Value* bench =
+      require(doc, "$", "bench", Kind::kString, &problems);
+  if (bench != nullptr && bench->as_string() != "sim")
+    problems.push_back("$.bench: expected \"sim\"");
+  const json::Value* workload =
+      require(doc, "$", "workload", Kind::kObject, &problems);
+  if (workload != nullptr) {
+    require_all(*workload, "$.workload",
+                {{"input_samples", Kind::kInt},
+                 {"input_period", Kind::kInt},
+                 {"reconfig", Kind::kInt}},
+                &problems);
+  }
+  const json::Value* runs =
+      require(doc, "$", "runs", Kind::kArray, &problems);
+  if (runs != nullptr) {
+    if (runs->as_array().size() != 2)
+      problems.push_back("$.runs: expected exactly two runs (dense, event)");
+    for (std::size_t i = 0; i < runs->as_array().size(); ++i) {
+      const std::string path = "$.runs[" + std::to_string(i) + "]";
+      const json::Value& run = runs->as_array()[i];
+      const json::Value* mode =
+          require(run, path, "mode", Kind::kString, &problems);
+      if (mode != nullptr && mode->as_string() != "dense" &&
+          mode->as_string() != "event")
+        problems.push_back(path + ".mode: expected \"dense\" or \"event\"");
+      require_all(run, path,
+                  {{"wall_ms", Kind::kNumber},
+                   {"cycles", Kind::kInt},
+                   {"cycles_per_sec", Kind::kNumber},
+                   {"dense_ticks", Kind::kInt},
+                   {"skips", Kind::kInt},
+                   {"skipped_cycles", Kind::kInt},
+                   {"sink_samples", Kind::kInt},
+                   {"source_drops", Kind::kInt},
+                   {"sink_underruns", Kind::kInt},
+                   {"blocks", Kind::kInt},
+                   {"audio_checksum", Kind::kInt}},
+                  &problems);
+    }
+  }
+  (void)require(doc, "$", "speedup", Kind::kNumber, &problems);
+  const json::Value* equivalent =
+      require(doc, "$", "equivalent", Kind::kBool, &problems);
+  if (equivalent != nullptr && !equivalent->as_bool())
+    problems.push_back(
+        "$.equivalent: dense and event runs diverged (steppers must be "
+        "cycle-exact)");
+  return problems;
+}
+
 }  // namespace acc

@@ -20,4 +20,12 @@ namespace acc {
 [[nodiscard]] std::vector<std::string> validate_bench_faults(
     const json::Value& doc);
 
+/// Validate a BENCH_sim.json document (see app/sim_bench.hpp). Beyond key
+/// presence/kinds this also enforces the semantic invariants every valid
+/// run must satisfy: runs[] holds exactly a "dense" and an "event" entry,
+/// and $.equivalent is true (the steppers are cycle-exact by contract — a
+/// document recording a divergence is itself malformed).
+[[nodiscard]] std::vector<std::string> validate_bench_sim(
+    const json::Value& doc);
+
 }  // namespace acc

@@ -48,15 +48,13 @@ void AcceleratorTile::set_downstream(std::int32_t node, std::uint32_t tag,
 }
 
 void AcceleratorTile::drain_network(Cycle) {
-  for (const RingMsg& m : ring_.data().drain(node_)) {
+  ring_.data().drain_into(node_, rx_);
+  for (const RingMsg& m : rx_) {
     ACC_CHECK_MSG(static_cast<std::int64_t>(input_.size()) < ni_capacity_,
                   name_ + ": NI input overflow (credit protocol violated)");
     input_.push_back(m.payload);
   }
-  for (const RingMsg& m : ring_.credit().drain(node_)) {
-    (void)m;
-    ++credits_;
-  }
+  credits_ += ring_.credit().drain_count(node_);
 }
 
 void AcceleratorTile::tick(Cycle now) {
@@ -104,6 +102,29 @@ void AcceleratorTile::tick(Cycle now) {
     pending_out_.pop_front();
     --credits_;
   }
+}
+
+Cycle AcceleratorTile::next_event(Cycle now) const {
+  Cycle h = kNeverCycle;
+  if (core_busy_) {
+    h = std::min(h, core_done_at_);
+  } else if (!input_.empty() &&
+             static_cast<std::int64_t>(pending_out_.size()) < ni_capacity_) {
+    h = now + 1;  // next sample starts on the next tick
+  }
+  if (!pending_out_.empty() && credits_ > 0 && downstream_node_ >= 0)
+    h = now + 1;  // forward blocked only on injection backpressure: retry
+  if (pending_credit_returns_ > 0 && upstream_node_ >= 0)
+    h = now + 1;  // credit return blocked on injection backpressure: retry
+  return h == kNeverCycle ? kNeverCycle : std::max(h, now + 1);
+}
+
+void AcceleratorTile::skip_to(Cycle from, Cycle to) {
+  if (core_busy_) busy_cycles_ += to - from;
+  // swap_context (called by the entry-gateway, which ticks densely at the
+  // post-skip cycle) timestamps its trace event with the accelerator's last
+  // ticked cycle; replay it so traces match the dense run exactly.
+  last_now_ = to - 1;
 }
 
 }  // namespace acc::sim

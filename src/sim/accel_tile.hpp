@@ -50,6 +50,12 @@ class AcceleratorTile final : public Component {
                       std::int64_t credits);
 
   void tick(Cycle now) override;
+  /// Event horizon: core completion, a startable sample, or pending
+  /// forwards/credit returns that must retry against ring backpressure.
+  [[nodiscard]] Cycle next_event(Cycle now) const override;
+  /// Replays the per-cycle busy accounting and the last-tick timestamp
+  /// (used by swap_context's trace event) over a skipped quiescent range.
+  void skip_to(Cycle from, Cycle to) override;
 
   void set_trace(TraceLog* trace) { trace_ = trace; }
 
@@ -83,6 +89,7 @@ class AcceleratorTile final : public Component {
   StreamId active_ = -1;
 
   std::deque<Flit> input_;
+  std::vector<RingMsg> rx_;  // reusable drain buffer (hot path, no allocs)
   std::deque<Flit> pending_out_;
   std::vector<CQ16> scratch_out_;
   bool core_busy_ = false;

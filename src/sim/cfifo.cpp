@@ -19,11 +19,12 @@ CFifo::CFifo(std::string name, std::int64_t capacity,
 std::int64_t CFifo::space_visible(Cycle now) const {
   last_now_ = std::max(last_now_, now);
   // Writer sees: capacity - (its own pushes) + (reads whose counter update
-  // has arrived back).
-  std::int64_t freed_visible = 0;
-  for (Cycle t : freed_) {
-    if (t <= now) ++freed_visible;
-  }
+  // has arrived back). freed_ deadlines are monotone, so the visible prefix
+  // ends at a binary-searchable boundary (this is a per-tick hot path).
+  const std::int64_t freed_visible = std::distance(
+      freed_.begin(),
+      std::partition_point(freed_.begin(), freed_.end(),
+                           [now](Cycle t) { return t <= now; }));
   const std::int64_t outstanding =
       static_cast<std::int64_t>(data_.size()) +
       (static_cast<std::int64_t>(freed_.size()) - freed_visible);
@@ -49,12 +50,34 @@ void CFifo::push(Cycle now, Flit f) {
 }
 
 std::int64_t CFifo::fill_visible(Cycle now) const {
-  std::int64_t n = 0;
-  for (const auto& [t, f] : data_) {
-    if (t <= now) ++n;
-    else break;  // arrival times are monotone
-  }
-  return n;
+  // Arrival times are monotone; the visible prefix usually spans most of a
+  // deep FIFO, so counting it linearly made this the simulator's hottest
+  // function. Binary-search the boundary instead.
+  return std::distance(
+      data_.begin(),
+      std::partition_point(
+          data_.begin(), data_.end(),
+          [now](const std::pair<Cycle, Flit>& e) { return e.first <= now; }));
+}
+
+Cycle CFifo::when_fill_visible(std::int64_t n, Cycle now) const {
+  if (n <= 0) return now;
+  if (static_cast<std::int64_t>(data_.size()) < n) return kNeverCycle;
+  // Visibility deadlines are monotone: the n-th sample is visible exactly
+  // when its own deadline passes.
+  return std::max(now, data_[static_cast<std::size_t>(n - 1)].first);
+}
+
+Cycle CFifo::when_space_visible(std::int64_t n, Cycle now) const {
+  const std::int64_t limit =
+      capacity_ - static_cast<std::int64_t>(data_.size());
+  if (limit < n) return kNeverCycle;  // a pop must land first
+  const std::int64_t allowed = limit - n;  // in-flight credits we tolerate
+  const std::int64_t pending = static_cast<std::int64_t>(freed_.size());
+  if (pending <= allowed) return now;
+  // freed_ deadlines are monotone: space reaches n once all but `allowed`
+  // of the pending credit returns have become visible to the writer.
+  return std::max(now, freed_[static_cast<std::size_t>(pending - allowed - 1)]);
 }
 
 Flit CFifo::front(Cycle now) const {

@@ -35,6 +35,16 @@ class CFifo {
 
   /// Reader-side: samples the reader can see at `now`.
   [[nodiscard]] std::int64_t fill_visible(Cycle now) const;
+
+  /// Event-horizon predictions (exact, not estimates): the earliest cycle
+  /// >= now at which `fill_visible` / `space_visible` reaches `n`, assuming
+  /// nobody pushes or pops in the meantime — which is exactly the frozen
+  /// state the event-horizon stepper certifies before skipping. Returns
+  /// kNeverCycle when the frozen state can never satisfy the demand (the
+  /// other side must act first). Both lean on the monotone visibility
+  /// deadlines push/pop maintain.
+  [[nodiscard]] Cycle when_fill_visible(std::int64_t n, Cycle now) const;
+  [[nodiscard]] Cycle when_space_visible(std::int64_t n, Cycle now) const;
   [[nodiscard]] bool can_pop(Cycle now) const { return fill_visible(now) > 0; }
   [[nodiscard]] Flit front(Cycle now) const;
   Flit pop(Cycle now);

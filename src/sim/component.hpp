@@ -11,6 +11,25 @@ class Component {
   /// Advance one clock cycle. Components are ticked in registration order,
   /// then the interconnect advances (System::run).
   virtual void tick(Cycle now) = 0;
+
+  /// Event-horizon hint (see System::run and docs/performance.md). Called
+  /// after every component and the ring ticked at cycle `now`; returns the
+  /// earliest cycle > now at which this component's tick could have an
+  /// externally visible effect (state, stats, trace events or RNG draws),
+  /// assuming NO other component acts before then. kNeverCycle means "only
+  /// another component's action can wake me". The default — tick next
+  /// cycle — is exact legacy behavior and keeps unknown subclasses safe.
+  [[nodiscard]] virtual Cycle next_event(Cycle now) const { return now + 1; }
+
+  /// Jump from cycle `from` to cycle `to` (from < to) without ticking the
+  /// range in between. Overriders must replay, exactly, whatever per-cycle
+  /// accounting their tick would have performed over a quiescent range
+  /// (wait/busy/stall counters, replenishment grids). Only called when
+  /// every component's next_event() certified the range as quiescent.
+  virtual void skip_to(Cycle from, Cycle to) {
+    (void)from;
+    (void)to;
+  }
 };
 
 }  // namespace acc::sim

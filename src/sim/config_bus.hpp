@@ -8,6 +8,12 @@
 // plus a fixed per-switch setup. It lets the analyses answer "what if the
 // state were moved by a hardware DMA at 1 word/cycle?" (see
 // bench_ablation_reconfig).
+//
+// The bus is a cost model, not a ticked component: a switch of cost R
+// occupies the entry-gateway's kReconfig state for R cycles, so its
+// contribution to the event-horizon stepper (System::run) is the gateway's
+// busy_until_ deadline — the bus transfer itself can always be skipped
+// over, it has no per-cycle observable state of its own.
 #pragma once
 
 #include <span>

@@ -1,5 +1,7 @@
 #include "sim/fault.hpp"
 
+#include <algorithm>
+
 namespace acc::sim {
 
 const char* fault_site_name(FaultSite site) {
@@ -62,6 +64,14 @@ bool FaultInjector::drop(FaultSite site, Cycle now) {
   if (!s.rng.chance(s.spec.drop_probability)) return false;
   ++s.stats.dropped;
   return true;
+}
+
+Cycle FaultInjector::next_eligible(FaultSite site, Cycle now) const {
+  const SiteState& s = sites_[static_cast<std::size_t>(site)];
+  if (!s.spec.active()) return kNeverCycle;
+  const Cycle c = std::max({now, s.quiet_until, s.spec.window_from});
+  if (c >= s.spec.window_until) return kNeverCycle;
+  return c;
 }
 
 const FaultSiteStats& FaultInjector::stats(FaultSite site) const {

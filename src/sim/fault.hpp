@@ -90,6 +90,15 @@ class FaultInjector {
   /// Drop-style hook (kExitNotify): true = the event is lost.
   [[nodiscard]] bool drop(FaultSite site, Cycle now);
 
+  /// Earliest cycle >= now at which delay(site, ...) would be an ELIGIBLE
+  /// consult (advancing the site's RNG stream), or kNeverCycle if no such
+  /// cycle exists. Mirrors eligible(): inactive specs, closed windows and
+  /// the post-trigger quiet period are ineligible — delay() early-outs on
+  /// those without touching RNG or stats, which is what lets the
+  /// event-horizon stepper skip through them without desyncing the
+  /// deterministic fault pattern (see System::run).
+  [[nodiscard]] Cycle next_eligible(FaultSite site, Cycle now) const;
+
   [[nodiscard]] const FaultSiteStats& stats(FaultSite site) const;
   [[nodiscard]] std::int64_t total_injected() const;
   [[nodiscard]] std::int64_t total_dropped() const;

@@ -95,10 +95,7 @@ bool EntryGateway::admissible(const StreamRoute& r, Cycle now) const {
 
 void EntryGateway::tick(Cycle now) {
   // Collect credits returned by the first accelerator's NI.
-  for (const RingMsg& m : ring_.credit().drain(node_)) {
-    (void)m;
-    ++credits_;
-  }
+  credits_ += ring_.credit().drain_count(node_);
 
   switch (state_) {
     case State::kIdle: {
@@ -248,6 +245,83 @@ void EntryGateway::tick(Cycle now) {
   }
 }
 
+Cycle EntryGateway::next_event(Cycle now) const {
+  switch (state_) {
+    case State::kIdle: {
+      if (streams_.empty()) return kNeverCycle;
+      // Not yet notified: the exit-gateway's own horizon (notify_at_) or a
+      // ring delivery bounds the wake-up; nothing here can act earlier.
+      if (!pipeline_idle_) return kNeverCycle;
+      // Earliest admission over all streams, from the C-FIFOs' exact
+      // visibility deadlines. If every stream needs the other side to act
+      // first, the producer/consumer horizons bound the system instead.
+      Cycle h = kNeverCycle;
+      for (const StreamRoute& r : streams_) {
+        const Cycle fill = r.input->when_fill_visible(r.eta, now);
+        const Cycle space = r.output->when_space_visible(r.out_per_block, now);
+        h = std::min(h, std::max(fill, space));
+      }
+      return h == kNeverCycle ? kNeverCycle : std::max(h, now + 1);
+    }
+    case State::kReconfig:
+      // Frozen until the context-switch bus transfer completes.
+      return std::max(busy_until_, now + 1);
+    case State::kStreaming: {
+      const StreamRoute& r = streams_[active_];
+      if (sample_in_flight_) {
+        if (now < busy_until_) return busy_until_;  // DMA cycle in progress
+        if (credits_ > 0) return now + 1;  // injection queue was full: retry
+        // Credit-starved: the only self-generated event left is the
+        // stall.credit trace emission when the starvation crosses the
+        // threshold; past that, only a credit return can wake us.
+        if (credit_stall_since_ < 0) return now + 1;
+        if (!credit_stall_traced_)
+          return std::max(credit_stall_since_ + credit_stall_threshold_,
+                          now + 1);
+        return kNeverCycle;
+      }
+      // Between samples: waiting for the next sample's read visibility.
+      const Cycle fill = r.input->when_fill_visible(1, now);
+      return fill == kNeverCycle ? kNeverCycle : std::max(fill, now + 1);
+    }
+    case State::kDraining:
+      // Still waiting for pipeline-idle. With recovery enabled the next
+      // self-generated event is the recovery poll; otherwise only the
+      // exit-gateway can end the drain.
+      if (retry_.notify_timeout > 0)
+        return std::max(drain_deadline_, now + 1);
+      return kNeverCycle;
+  }
+  return now + 1;
+}
+
+void EntryGateway::skip_to(Cycle from, Cycle to) {
+  const Cycle n = to - from;
+  switch (state_) {
+    case State::kIdle:
+      if (!streams_.empty()) stats_.wait_cycles += n;
+      return;
+    case State::kReconfig:
+      stats_.reconfig_cycles += n;
+      return;
+    case State::kStreaming:
+      if (sample_in_flight_) {
+        stats_.data_cycles += n;
+        // A skipped starved range also accrues credit-stall accounting
+        // (the threshold-crossing trace cycle itself is always ticked
+        // densely — next_event pins it).
+        if (from >= busy_until_ && credits_ <= 0 && credit_stall_since_ >= 0)
+          stats_.credit_stall_cycles += n;
+      } else {
+        stats_.wait_cycles += n;
+      }
+      return;
+    case State::kDraining:
+      stats_.wait_cycles += n;
+      return;
+  }
+}
+
 ExitGateway::ExitGateway(std::string name, DualRing& ring, std::int32_t node,
                          Cycle delta, std::int64_t ni_capacity,
                          Cycle notify_lag)
@@ -276,7 +350,8 @@ void ExitGateway::arm(StreamId stream, CFifo* output, std::int64_t expected) {
 }
 
 void ExitGateway::tick(Cycle now) {
-  for (const RingMsg& m : ring_.data().drain(node_)) {
+  ring_.data().drain_into(node_, rx_);
+  for (const RingMsg& m : rx_) {
     ACC_CHECK_MSG(static_cast<std::int64_t>(input_.size()) < ni_capacity_,
                   name_ + ": NI input overflow (credit protocol violated)");
     input_.push_back(m.payload);
@@ -339,6 +414,18 @@ void ExitGateway::tick(Cycle now) {
     busy_ = true;
     busy_until_ = now + delta_;
   }
+}
+
+Cycle ExitGateway::next_event(Cycle now) const {
+  Cycle h = kNeverCycle;
+  if (notify_at_) h = std::min(h, *notify_at_);
+  if (busy_) {
+    h = std::min(h, busy_until_);
+  } else if (!input_.empty()) {
+    h = now + 1;  // next sample's DMA starts immediately
+  }
+  if (pending_credit_returns_ > 0) h = now + 1;  // credit injection retry
+  return h == kNeverCycle ? kNeverCycle : std::max(h, now + 1);
 }
 
 bool ExitGateway::reclaim_notification(Cycle now) {

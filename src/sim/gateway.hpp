@@ -99,6 +99,15 @@ class EntryGateway final : public Component {
   void add_stream(const StreamRoute& route);
 
   void tick(Cycle now) override;
+  /// Event horizon of the admission/reconfig/streaming/drain FSM: context
+  /// switch completion, DMA completion, C-FIFO visibility deadlines, the
+  /// credit-stall trace threshold and the drain recovery poll. kNeverCycle
+  /// whenever only another component (producer push, consumer pop, credit
+  /// return, exit notification) can unblock the FSM.
+  [[nodiscard]] Cycle next_event(Cycle now) const override;
+  /// Replays the per-cycle wait/reconfig/data/credit-stall accounting the
+  /// dense loop would have performed over a quiescent range.
+  void skip_to(Cycle from, Cycle to) override;
 
   /// Opt-in event tracing (admissions, reconfigurations, completions).
   void set_trace(TraceLog* trace) { trace_ = trace; }
@@ -186,6 +195,10 @@ class ExitGateway final : public Component {
   void arm(StreamId stream, CFifo* output, std::int64_t expected);
 
   void tick(Cycle now) override;
+  /// Event horizon: pending notification delivery, per-sample DMA
+  /// completion, or retries of a backed-up credit return. The exit-gateway
+  /// keeps no per-cycle counters, so the default (no-op) skip_to is exact.
+  [[nodiscard]] Cycle next_event(Cycle now) const override;
 
   /// Entry-gateway recovery poll: if the active block has fully left the
   /// pipeline but its notification is still pending or was lost, deliver
@@ -214,6 +227,7 @@ class ExitGateway final : public Component {
   std::uint32_t upstream_tag_ = 0;
 
   std::deque<Flit> input_;
+  std::vector<RingMsg> rx_;  // reusable drain buffer (hot path, no allocs)
   std::int64_t pending_credit_returns_ = 0;
   bool busy_ = false;
   Cycle busy_until_ = 0;

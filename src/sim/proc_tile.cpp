@@ -41,19 +41,18 @@ void ProcessorTile::tick(Cycle now) {
   // budget are eligible — budget exhaustion suspends a task until the next
   // replenishment, giving the temporal isolation the dataflow analysis of
   // software tasks relies on (ref [18]).
-  std::vector<std::size_t> order;
-  order.reserve(tasks_.size());
+  order_.clear();
   if (policy_ == SchedulerPolicy::kPriorityBudget) {
-    for (std::size_t k = 0; k < tasks_.size(); ++k) order.push_back(k);
-    std::stable_sort(order.begin(), order.end(),
+    for (std::size_t k = 0; k < tasks_.size(); ++k) order_.push_back(k);
+    std::stable_sort(order_.begin(), order_.end(),
                      [&](std::size_t a, std::size_t b) {
                        return tasks_[a].priority > tasks_[b].priority;
                      });
   } else {
     for (std::size_t k = 0; k < tasks_.size(); ++k)
-      order.push_back((current_ + k) % tasks_.size());
+      order_.push_back((current_ + k) % tasks_.size());
   }
-  for (const std::size_t idx : order) {
+  for (const std::size_t idx : order_) {
     if (budget_left_[idx] <= 0) continue;
     const Cycle cost = tasks_[idx].invoke(now);
     if (cost > 0) {
@@ -65,6 +64,35 @@ void ProcessorTile::tick(Cycle now) {
       return;
     }
   }
+}
+
+Cycle ProcessorTile::next_event(Cycle now) const {
+  if (tasks_.empty()) return kNeverCycle;
+  if (now < busy_until_) return busy_until_;  // invocation in progress
+  Cycle h = kNeverCycle;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    // Earliest cycle task i could run: its data/space readiness hint,
+    // further deferred to the next replenishment while its budget is spent.
+    Cycle t = tasks_[i].next_ready
+                  ? std::max(tasks_[i].next_ready(now), now + 1)
+                  : now + 1;
+    if (budget_left_[i] <= 0) t = std::max(t, next_replenish_);
+    h = std::min(h, t);
+  }
+  return h;
+}
+
+void ProcessorTile::skip_to(Cycle from, Cycle to) {
+  if (tasks_.empty()) return;
+  // Replay the replenishment grid: dense ticking refills at exactly
+  // next_replenish_, next_replenish_ + period, ... — preserve that phase.
+  while (next_replenish_ < to) {
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+      budget_left_[i] = tasks_[i].budget;
+    next_replenish_ += period_;
+  }
+  const Cycle busy_end = std::min(to, busy_until_);
+  if (busy_end > from) busy_cycles_ += busy_end - from;
 }
 
 SourceTile::SourceTile(std::string name, CFifo& out, std::vector<Flit> samples,
@@ -110,6 +138,11 @@ void SourceTile::tick(Cycle now) {
   }
 }
 
+Cycle SourceTile::next_event(Cycle now) const {
+  if (next_ >= samples_.size()) return kNeverCycle;
+  return std::max(next_emit_, now + 1);
+}
+
 SinkTile::SinkTile(std::string name, CFifo& in, Cycle period,
                    std::int64_t prefill)
     : name_(std::move(name)), in_(in), period_(period), prefill_(prefill) {
@@ -134,6 +167,14 @@ void SinkTile::tick(Cycle now) {
     ++underruns_;  // DAC starved: audible glitch
   }
   next_due_ += period_;
+}
+
+Cycle SinkTile::next_event(Cycle now) const {
+  if (!started_) {
+    const Cycle h = in_.when_fill_visible(prefill_, now);
+    return h == kNeverCycle ? kNeverCycle : std::max(h, now + 1);
+  }
+  return std::max(next_due_, now + 1);
 }
 
 }  // namespace acc::sim

@@ -37,6 +37,14 @@ struct Task {
   Cycle budget = 100;
   /// Priority (larger = more urgent); only used by kPriorityBudget.
   std::int32_t priority = 0;
+  /// Optional event-horizon hint: earliest cycle >= now at which `invoke`
+  /// could return non-zero, assuming nobody touches its C-FIFOs in the
+  /// meantime (CFifo::when_fill_visible / when_space_visible compose well
+  /// here); kNeverCycle when only another component can unblock it. Leave
+  /// unset to keep the tile dense (exact but slow). When set, `invoke`
+  /// must be side-effect free whenever it returns 0 — blocked attempts are
+  /// elided, not replayed, while cycles are skipped.
+  std::function<Cycle(Cycle now)> next_ready;
 };
 
 /// Scheduling policy of the paper's budget scheduler (ref [18]): both
@@ -56,6 +64,13 @@ class ProcessorTile final : public Component {
 
   void add_task(Task t);
   void tick(Cycle now) override;
+  /// Event horizon: running-task completion, budget replenishment of a
+  /// suspended task, or the earliest Task::next_ready hint. Tasks without
+  /// a hint pin the tile to dense stepping (exact legacy behavior).
+  [[nodiscard]] Cycle next_event(Cycle now) const override;
+  /// Replays the replenishment grid (refills keep their dense-mode phase)
+  /// and the running task's busy accounting over a skipped range.
+  void skip_to(Cycle from, Cycle to) override;
 
   [[nodiscard]] Cycle busy_cycles() const { return busy_cycles_; }
   [[nodiscard]] std::int64_t invocations(std::size_t task) const;
@@ -67,6 +82,7 @@ class ProcessorTile final : public Component {
   std::vector<Task> tasks_;
   std::vector<Cycle> budget_left_;
   std::vector<std::int64_t> invocations_;
+  std::vector<std::size_t> order_;  // reusable scan buffer (hot path)
   std::size_t current_ = 0;
   Cycle busy_until_ = 0;
   Cycle next_replenish_ = 0;
@@ -86,6 +102,10 @@ class SourceTile final : public Component {
   void set_jitter(Cycle max_jitter, std::uint64_t seed = 1);
 
   void tick(Cycle now) override;
+  /// Event horizon: the (jittered) release time of the next sample, or
+  /// kNeverCycle once the sample list is exhausted. No per-cycle counters,
+  /// so the default no-op skip_to is exact.
+  [[nodiscard]] Cycle next_event(Cycle now) const override;
 
   [[nodiscard]] std::int64_t emitted() const { return emitted_; }
   [[nodiscard]] std::int64_t dropped() const { return dropped_; }
@@ -119,6 +139,9 @@ class SinkTile final : public Component {
   SinkTile(std::string name, CFifo& in, Cycle period, std::int64_t prefill = 1);
 
   void tick(Cycle now) override;
+  /// Event horizon: the prefill visibility deadline before start, the next
+  /// DAC due time after. No per-cycle counters; default skip_to is exact.
+  [[nodiscard]] Cycle next_event(Cycle now) const override;
 
   [[nodiscard]] const std::vector<Flit>& received() const { return received_; }
   [[nodiscard]] const std::vector<Cycle>& timestamps() const {

@@ -1,5 +1,7 @@
 #include "sim/ring.hpp"
 
+#include <algorithm>
+
 #include "sim/fault.hpp"
 
 namespace acc::sim {
@@ -18,13 +20,32 @@ bool Ring::try_inject(std::int32_t node, const RingMsg& msg) {
   auto& q = inject_[node];
   if (q.size() >= kInjectQueueDepth) return false;
   q.push_back(msg);
+  ++queued_;
   return true;
 }
 
-std::vector<RingMsg> Ring::drain(std::int32_t node) {
+void Ring::drain_into(std::int32_t node, std::vector<RingMsg>& out) {
   ACC_EXPECTS(node >= 0 && node < nodes());
+  out.clear();
+  auto& src = ejected_[node];
+  if (src.empty()) return;
+  out.insert(out.end(), src.begin(), src.end());
+  pending_eject_ -= static_cast<std::int64_t>(src.size());
+  src.clear();
+}
+
+std::int64_t Ring::drain_count(std::int32_t node) {
+  ACC_EXPECTS(node >= 0 && node < nodes());
+  auto& src = ejected_[node];
+  const auto n = static_cast<std::int64_t>(src.size());
+  pending_eject_ -= n;
+  src.clear();
+  return n;
+}
+
+std::vector<RingMsg> Ring::drain(std::int32_t node) {
   std::vector<RingMsg> out;
-  out.swap(ejected_[node]);
+  drain_into(node, out);
   return out;
 }
 
@@ -48,30 +69,56 @@ void Ring::tick() {
     }
   }
   const auto n = static_cast<std::int32_t>(slots_.size());
-  // Rotate slots one hop: slot at node i moves to node i+1 (clockwise) or
-  // i-1 (counter-clockwise).
-  std::vector<Slot> next(slots_.size());
-  for (std::int32_t i = 0; i < n; ++i) {
-    const std::int32_t to = clockwise_ ? (i + 1) % n : (i - 1 + n) % n;
-    next[to] = slots_[i];
-  }
-  slots_ = std::move(next);
+  // Rotate slots one hop: the slot at node i moves to node i+1 (clockwise)
+  // or i-1 (counter-clockwise). Rotation is a single offset update — the
+  // slot array itself never moves (no per-tick allocation or copy).
+  offset_ = clockwise_ ? (offset_ + slots_.size() - 1) % slots_.size()
+                       : (offset_ + 1) % slots_.size();
 
   // At each node: eject a slot addressed to it, then fill a free slot from
   // the local injection queue.
   for (std::int32_t i = 0; i < n; ++i) {
-    Slot& s = slots_[i];
+    Slot& s = slots_[slot_at(i)];
     if (s.occupied && s.msg.dst == i) {
       ejected_[i].push_back(s.msg);
       s.occupied = false;
       ++delivered_;
+      --occupied_;
+      ++pending_eject_;
     }
     if (!s.occupied && !inject_[i].empty()) {
       s.msg = inject_[i].front();
       inject_[i].pop_front();
       s.occupied = true;
+      ++occupied_;
+      --queued_;
     }
   }
+}
+
+Cycle Ring::next_event() const {
+  if (!idle()) {
+    // Messages in flight / queued / awaiting drain: tick every cycle, or —
+    // while frozen by a stall window — resume when the window releases
+    // (the frozen cycles only accrue stall accounting, replayed by skip_to).
+    return std::max(now_, stall_until_);
+  }
+  // Empty ring: a tick only matters when it would consult the fault
+  // injector's RNG (an eligible consult advances the deterministic stream,
+  // which is externally visible state). Skipped stall-window accounting is
+  // replayed exactly by skip_to.
+  if (fault_ == nullptr) return kNeverCycle;
+  const Cycle first_consult = std::max(now_, stall_until_);
+  return fault_->next_eligible(fault_site_, first_consult);
+}
+
+void Ring::skip_to(Cycle target) {
+  if (target <= now_) return;
+  // Dense ticks inside an open stall window each count one stall cycle;
+  // replay that accounting for the portion of the window we jump over.
+  const Cycle stalled_until = std::min(target, stall_until_);
+  if (stalled_until > now_) stall_cycles_ += stalled_until - now_;
+  now_ = target;
 }
 
 void DualRing::set_fault(FaultInjector* injector) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <vector>
 
 #include "common/check.hpp"
@@ -20,6 +21,10 @@
 namespace acc::sim {
 
 using Cycle = std::int64_t;
+
+/// Event-horizon sentinel: "no state change will ever happen here unless
+/// some other component acts first" (see System::run).
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 
 class FaultInjector;
 enum class FaultSite : int;
@@ -40,7 +45,16 @@ class Ring {
   /// the interconnect accepts").
   [[nodiscard]] bool try_inject(std::int32_t node, const RingMsg& msg);
 
-  /// Messages ejected at `node` since last drained. Caller takes ownership.
+  /// Messages ejected at `node` since last drained, appended to `out`
+  /// (cleared first). The caller owns `out` and reuses it across ticks, so
+  /// the hot path performs no per-call allocation once the buffer warmed up.
+  void drain_into(std::int32_t node, std::vector<RingMsg>& out);
+
+  /// Eject-and-count for callers that only tally messages (credit returns):
+  /// returns the number of messages ejected at `node` and discards them.
+  [[nodiscard]] std::int64_t drain_count(std::int32_t node);
+
+  /// Allocating convenience wrapper over drain_into (tests / cold paths).
   [[nodiscard]] std::vector<RingMsg> drain(std::int32_t node);
 
   /// Advance every slot one hop; eject and inject at each node. While a
@@ -52,6 +66,24 @@ class Ring {
   /// Opt-in fault injection: consult `injector` at `site` once per tick
   /// for a stall window (see sim/fault.hpp).
   void set_fault(FaultInjector* injector, FaultSite site);
+
+  /// True when no slot is occupied, no injection queue holds a message and
+  /// no ejected message awaits pickup — ticking an idle ring is a no-op.
+  [[nodiscard]] bool idle() const {
+    return occupied_ == 0 && queued_ == 0 && pending_eject_ == 0;
+  }
+
+  /// Event horizon (see System::run): the earliest internal cycle at which
+  /// a tick can change ring state or consult the fault injector's RNG,
+  /// assuming no component injects in the meantime. Returns the current
+  /// internal cycle while the ring is busy (tick every cycle) and
+  /// kNeverCycle when nothing will ever happen again.
+  [[nodiscard]] Cycle next_event() const;
+
+  /// Jump the internal clock to `target` without ticking, accounting the
+  /// skipped cycles exactly as dense ticking would (stall-window cycles).
+  /// Only valid while the skipped range is quiescent per next_event().
+  void skip_to(Cycle target);
 
   [[nodiscard]] std::int32_t nodes() const {
     return static_cast<std::int32_t>(slots_.size());
@@ -69,11 +101,21 @@ class Ring {
 
   static constexpr std::size_t kInjectQueueDepth = 8;
 
-  std::vector<Slot> slots_;  // slots_[i] currently at node i
+  /// Physical slot currently sitting at `node` (rotation is an index
+  /// offset, not a copy of the slot array).
+  [[nodiscard]] std::size_t slot_at(std::int32_t node) const {
+    return (static_cast<std::size_t>(node) + offset_) % slots_.size();
+  }
+
+  std::vector<Slot> slots_;
   std::vector<std::deque<RingMsg>> inject_;
   std::vector<std::vector<RingMsg>> ejected_;
+  std::size_t offset_ = 0;  // slots_[ (node + offset_) % n ] is at node
   bool clockwise_;
   std::int64_t delivered_ = 0;
+  std::int64_t occupied_ = 0;       // slots in flight
+  std::int64_t queued_ = 0;         // messages waiting in injection queues
+  std::int64_t pending_eject_ = 0;  // ejected messages awaiting drain
   Cycle now_ = 0;  // internal tick counter (fault windows are cycle-based)
   FaultInjector* fault_ = nullptr;
   FaultSite fault_site_{};
@@ -97,6 +139,15 @@ class DualRing {
   void tick() {
     data_.tick();
     credit_.tick();
+  }
+
+  [[nodiscard]] Cycle next_event() const {
+    return std::min(data_.next_event(), credit_.next_event());
+  }
+
+  void skip_to(Cycle target) {
+    data_.skip_to(target);
+    credit_.skip_to(target);
   }
 
  private:

@@ -1,7 +1,23 @@
 // System: owns the interconnect, the tiles and the C-FIFOs, and steps the
-// whole MPSoC cycle by cycle.
+// whole MPSoC.
+//
+// Two steppers share one cycle-exact semantics:
+//
+//  - run_dense: the legacy loop — every component ticks every cycle.
+//  - run (event-horizon): after a dense tick, ask every component and both
+//    rings for the earliest cycle at which their next tick could have an
+//    externally visible effect (Component::next_event). When every answer
+//    lies beyond now+1 the whole system is QUIESCENT: nothing will act, so
+//    nobody's inputs change, so the frozen state persists — and now_ can
+//    jump straight to the minimum horizon (components replay per-cycle
+//    accounting via Component::skip_to). The skip is all-or-nothing: one
+//    component reporting now+1 keeps the step dense, which is what makes a
+//    conservative (never-overshooting) horizon sufficient for exactness.
+//    See docs/performance.md for the invariants and the equivalence proof
+//    obligations (tests/sim/event_horizon_test.cpp).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -11,6 +27,13 @@
 #include "sim/ring.hpp"
 
 namespace acc::sim {
+
+/// Stepper instrumentation: how much work the event-horizon core avoided.
+struct StepperStats {
+  std::int64_t dense_ticks = 0;    // cycles actually ticked
+  std::int64_t skips = 0;          // quiescent jumps taken
+  std::int64_t skipped_cycles = 0; // cycles covered by those jumps
+};
 
 class System {
  public:
@@ -34,36 +57,78 @@ class System {
     return *fifos_.back();
   }
 
-  /// Run for `cycles` clock cycles.
+  /// Run for `cycles` clock cycles with the event-horizon stepper
+  /// (cycle-exact vs run_dense; see file header).
   void run(Cycle cycles) {
+    const Cycle end = now_ + cycles;
+    while (now_ < end) {
+      step_dense();
+      skip_if_quiescent(end);
+    }
+  }
+
+  /// Run for `cycles` clock cycles, ticking every component every cycle
+  /// (the legacy stepper — reference semantics for equivalence tests).
+  void run_dense(Cycle cycles) {
     const Cycle end = now_ + cycles;
     for (; now_ < end; ++now_) {
       for (auto& c : components_) c->tick(now_);
       ring_.tick();
+      ++stats_.dense_ticks;
     }
   }
 
   /// Run until `pred(now)` holds or `max_cycles` elapse; returns true if
-  /// the predicate fired.
+  /// the predicate fired. Uses the event-horizon stepper: `pred` must be a
+  /// function of simulation STATE (not of the numeric value of `now`), so
+  /// that its value cannot change across a certified-quiescent range — it
+  /// is evaluated before every dense tick and before every skip.
   template <typename Pred>
   bool run_until(Pred&& pred, Cycle max_cycles) {
     const Cycle end = now_ + max_cycles;
     while (now_ < end) {
       if (pred(now_)) return true;
-      for (auto& c : components_) c->tick(now_);
-      ring_.tick();
-      ++now_;
+      step_dense();
+      if (now_ < end && !pred(now_)) skip_if_quiescent(end);
     }
     return pred(now_);
   }
 
   [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] const StepperStats& stepper_stats() const { return stats_; }
 
  private:
+  /// One dense cycle: every component, then the interconnect.
+  void step_dense() {
+    for (auto& c : components_) c->tick(now_);
+    ring_.tick();
+    ++now_;
+    ++stats_.dense_ticks;
+  }
+
+  /// If every horizon lies beyond the next cycle, jump to the earliest one
+  /// (clamped to `end`), replaying per-cycle accounting along the way.
+  void skip_if_quiescent(Cycle end) {
+    const Cycle ticked = now_ - 1;  // cycle step_dense just completed
+    Cycle h = ring_.next_event();
+    for (const auto& c : components_) {
+      if (h <= now_) return;  // someone acts next cycle: stay dense
+      h = std::min(h, c->next_event(ticked));
+    }
+    const Cycle target = std::min(h, end);
+    if (target <= now_) return;
+    for (auto& c : components_) c->skip_to(now_, target);
+    ring_.skip_to(target);
+    stats_.skipped_cycles += target - now_;
+    ++stats_.skips;
+    now_ = target;
+  }
+
   DualRing ring_;
   std::vector<std::unique_ptr<Component>> components_;
   std::vector<std::unique_ptr<CFifo>> fifos_;
   Cycle now_ = 0;
+  StepperStats stats_;
 };
 
 }  // namespace acc::sim

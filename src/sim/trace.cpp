@@ -1,7 +1,5 @@
 #include "sim/trace.hpp"
 
-#include <sstream>
-
 namespace acc::sim {
 
 std::vector<TraceEvent> TraceLog::from(std::string_view source) const {
@@ -19,16 +17,32 @@ std::vector<TraceEvent> TraceLog::of(std::string_view event) const {
 }
 
 std::string TraceLog::to_csv() const {
-  std::ostringstream os;
-  os << "cycle,source,event,value\n";
+  // Single pre-sized buffer + appends: one allocation for typical logs
+  // instead of the stream's repeated grow-and-copy.
+  std::string out;
+  std::size_t bytes = 32;
   for (const TraceEvent& e : events_)
-    os << e.cycle << ',' << e.source << ',' << e.event << ',' << e.value
-       << '\n';
+    bytes += e.source.size() + e.event.size() + 48;
+  out.reserve(bytes);
+  out += "cycle,source,event,value\n";
+  for (const TraceEvent& e : events_) {
+    out += std::to_string(e.cycle);
+    out += ',';
+    out += e.source;
+    out += ',';
+    out += e.event;
+    out += ',';
+    out += std::to_string(e.value);
+    out += '\n';
+  }
   if (dropped_ > 0) {
     const Cycle last = events_.empty() ? 0 : events_.back().cycle;
-    os << last << ",trace,truncated," << dropped_ << '\n';
+    out += std::to_string(last);
+    out += ",trace,truncated,";
+    out += std::to_string(dropped_);
+    out += '\n';
   }
-  return os.str();
+  return out;
 }
 
 }  // namespace acc::sim

@@ -4,6 +4,7 @@
 // Opt-in: components trace only when given a TraceLog.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -33,6 +34,12 @@ class TraceLog {
       ++dropped_;
       return;
     }
+    if (events_.empty()) {
+      // Amortized reservation: one up-front block absorbs the growth
+      // reallocations short runs would otherwise pay on the hot path,
+      // without committing the full cap (max_events_ can be huge).
+      events_.reserve(std::min<std::size_t>(max_events_, kInitialReserve));
+    }
     events_.push_back(TraceEvent{cycle, std::string(source),
                                  std::string(event), value});
   }
@@ -57,6 +64,8 @@ class TraceLog {
   [[nodiscard]] std::string to_csv() const;
 
  private:
+  static constexpr std::size_t kInitialReserve = 4096;
+
   std::size_t max_events_;
   std::size_t dropped_ = 0;
   std::vector<TraceEvent> events_;

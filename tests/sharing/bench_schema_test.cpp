@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "app/fault_campaign.hpp"
+#include "app/sim_bench.hpp"
 #include "sharing/bench_doc.hpp"
 
 namespace acc {
@@ -72,6 +73,57 @@ TEST(BenchSchema, DetectsMissingPointKeyInFaultsDoc) {
 TEST(BenchSchema, DetectsEmptyRuns) {
   json::Value doc = sharing::dse_bench_doc(json::Array{});
   EXPECT_FALSE(validate_bench_dse(doc).empty());
+}
+
+// --- BENCH_sim.json (ISSUE 3: simulator perf trajectory) ----------------
+
+json::Value small_sim_doc() {
+  app::PalSimConfig pal = app::sim_bench_pal_config(/*fast=*/true);
+  pal.input_samples = 1 << 10;  // test-size, even smaller than --sim-fast
+  const app::SimBenchRun dense = app::sim_bench_run(pal, /*dense=*/true);
+  const app::SimBenchRun event = app::sim_bench_run(pal, /*dense=*/false);
+  return app::sim_bench_doc(pal, dense, event);
+}
+
+TEST(BenchSchema, SimDocFromBenchCodeValidates) {
+  const std::vector<std::string> problems = validate_bench_sim(small_sim_doc());
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(BenchSchema, SimDocDetectsMissingRunKey) {
+  json::Value doc = small_sim_doc();
+  doc.as_object()["runs"].as_array()[1].as_object().erase("skipped_cycles");
+  const std::vector<std::string> problems = validate_bench_sim(doc);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("skipped_cycles"), std::string::npos);
+}
+
+TEST(BenchSchema, SimDocDetectsWrongMode) {
+  json::Value doc = small_sim_doc();
+  doc.as_object()["runs"].as_array()[0].as_object()["mode"] = "sparse";
+  EXPECT_FALSE(validate_bench_sim(doc).empty());
+}
+
+TEST(BenchSchema, SimDocDetectsDivergence) {
+  // A doc recording a dense/event divergence is malformed by definition:
+  // the steppers are contractually cycle-exact.
+  json::Value doc = small_sim_doc();
+  doc.as_object()["equivalent"] = false;
+  const std::vector<std::string> problems = validate_bench_sim(doc);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("equivalent"), std::string::npos);
+}
+
+TEST(BenchSchema, SimDocDetectsWrongRunCount) {
+  json::Value doc = small_sim_doc();
+  doc.as_object()["runs"].as_array().pop_back();
+  EXPECT_FALSE(validate_bench_sim(doc).empty());
+}
+
+TEST(BenchSchema, SimDocDetectsWrongBenchId) {
+  json::Value doc = small_sim_doc();
+  EXPECT_FALSE(validate_bench_dse(doc).empty());
+  EXPECT_FALSE(validate_bench_sim(small_dse_doc()).empty());
 }
 
 }  // namespace

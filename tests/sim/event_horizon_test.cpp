@@ -1,0 +1,438 @@
+// Cycle-exact equivalence of the two steppers (ISSUE 3 tentpole proof):
+// System::run (event-horizon, skips certified-quiescent ranges) must be
+// indistinguishable from System::run_dense (the legacy every-cycle loop) in
+// EVERY externally visible respect — trace contents, final state, stats,
+// delivered data, and the deterministic fault pattern — on randomized
+// gateway chains with fixed seeds, fault-free and under fault injection,
+// and on the full PAL decoder demonstrator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "accel/kernel.hpp"
+#include "app/pal_system.hpp"
+#include "sim/chain_builder.hpp"
+#include "sim/fault.hpp"
+#include "sim/proc_tile.hpp"
+#include "sim/system.hpp"
+#include "sim/trace.hpp"
+
+namespace acc::sim {
+namespace {
+
+/// Identity kernel (no state).
+class Pass final : public accel::StreamKernel {
+ public:
+  void push(CQ16 in, std::vector<CQ16>& out) override { out.push_back(in); }
+  [[nodiscard]] std::vector<std::int32_t> save_state() const override {
+    return {};
+  }
+  void restore_state(std::span<const std::int32_t>) override {}
+  void reset() override {}
+  [[nodiscard]] std::size_t state_words() const override { return 0; }
+  [[nodiscard]] std::string name() const override { return "pass"; }
+  [[nodiscard]] std::unique_ptr<StreamKernel> clone_fresh() const override {
+    return std::make_unique<Pass>();
+  }
+};
+
+std::vector<std::unique_ptr<accel::StreamKernel>> passes(std::size_t n) {
+  std::vector<std::unique_ptr<accel::StreamKernel>> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(std::make_unique<Pass>());
+  return v;
+}
+
+/// One randomized system shape. Both steppers get an independently built
+/// but bit-identical instance.
+struct Params {
+  int accels = 1;
+  Cycle accel_cost = 1;
+  Cycle epsilon = 2;
+  std::int64_t eta = 8;
+  Cycle reconfig = 20;
+  Cycle source_period = 4;
+  Cycle sink_period = 6;
+  int payload_blocks = 3;
+  bool with_proc = false;    // software copy task between chain and sink
+  Cycle proc_cost = 3;
+  bool with_fault = false;
+  bool with_drops = false;   // notification drops (requires retry recovery)
+  std::uint64_t fault_seed = 1;
+  Cycle run_cycles = 30000;
+};
+
+Params random_params(std::mt19937_64& rng, bool with_fault) {
+  const auto pick = [&rng](int lo, int hi) {
+    return lo + static_cast<int>(rng() % static_cast<std::uint64_t>(hi - lo + 1));
+  };
+  Params p;
+  p.accels = pick(1, 3);
+  p.accel_cost = pick(1, 3);
+  p.epsilon = pick(1, 4);
+  p.eta = 2 * pick(2, 5);
+  p.reconfig = pick(5, 120);
+  p.source_period = pick(2, 24);
+  p.sink_period = pick(2, 24);
+  p.payload_blocks = pick(2, 4);
+  p.with_proc = pick(0, 1) == 1;
+  p.proc_cost = pick(1, 4);
+  p.with_fault = with_fault;
+  p.with_drops = with_fault && pick(0, 1) == 1;
+  p.fault_seed = rng();
+  return p;
+}
+
+/// Source -> entry gateway -> accel chain -> exit gateway [-> copy task]
+/// -> sink, with tracing everywhere and (optionally) all four fault sites
+/// wired. Construction is a pure function of Params, so two instances are
+/// bit-identical until stepped.
+struct Scenario {
+  explicit Scenario(const Params& p)
+      : sys(p.accels + 2), trace(1 << 18), fault(p.fault_seed) {
+    if (p.with_fault) {
+      FaultSpec ring;
+      ring.probability = 0.02;
+      ring.max_delay = 5;
+      ring.min_spacing = 40;
+      fault.configure(FaultSite::kRingLink, ring);
+      FaultSpec bus;
+      bus.probability = 0.5;
+      bus.max_delay = 30;
+      fault.configure(FaultSite::kConfigBus, bus);
+      FaultSpec notify;
+      notify.probability = 0.3;
+      notify.max_delay = 12;
+      if (p.with_drops) notify.drop_probability = 0.2;
+      fault.configure(FaultSite::kExitNotify, notify);
+      FaultSpec credit;
+      credit.probability = 0.05;
+      credit.max_delay = 6;
+      credit.min_spacing = 16;
+      fault.configure(FaultSite::kCreditWithhold, credit);
+    }
+
+    ChainConfig cfg;
+    cfg.name = "c";
+    cfg.accel_cycles.assign(static_cast<std::size_t>(p.accels), p.accel_cost);
+    cfg.epsilon = p.epsilon;
+    cfg.exit_notify_lag = 2;
+    cfg.trace = &trace;
+    cfg.fault = p.with_fault ? &fault : nullptr;
+    if (p.with_drops) cfg.retry = {/*notify_timeout=*/64, /*max_retries=*/8,
+                                   /*backoff=*/0};
+    chain = build_gateway_chain(sys, cfg);
+
+    in = &sys.add_fifo("in", p.eta * 4);
+    mid = &sys.add_fifo("mid", p.eta * 4);
+    if (p.with_fault) {
+      in->set_fault(&fault);
+      mid->set_fault(&fault);
+    }
+    chain.add_stream({0, "s", p.eta, p.eta, in, mid, p.reconfig},
+                     passes(static_cast<std::size_t>(p.accels)));
+
+    std::vector<Flit> payload(
+        static_cast<std::size_t>(p.eta) * static_cast<std::size_t>(p.payload_blocks));
+    std::iota(payload.begin(), payload.end(), Flit{100});
+    src = &sys.add<SourceTile>("src", *in, payload, p.source_period);
+
+    CFifo* sink_in = mid;
+    if (p.with_proc) {
+      fin = &sys.add_fifo("fin", p.eta * 4);
+      auto& cpu = sys.add<ProcessorTile>("cpu", /*replenish_period=*/64);
+      Task copy;
+      copy.name = "copy";
+      copy.budget = 32;
+      CFifo* m = mid;
+      CFifo* f = fin;
+      const Cycle cost = p.proc_cost;
+      copy.invoke = [m, f, cost](Cycle now) -> Cycle {
+        if (m->fill_visible(now) < 1 || f->space_visible(now) < 1) return 0;
+        f->push(now, m->pop(now));
+        return cost;
+      };
+      copy.next_ready = [m, f](Cycle now) {
+        return std::max(m->when_fill_visible(1, now),
+                        f->when_space_visible(1, now));
+      };
+      cpu.add_task(std::move(copy));
+      proc = &cpu;
+      sink_in = fin;
+    }
+    sink = &sys.add<SinkTile>("snk", *sink_in, p.sink_period, /*prefill=*/2);
+  }
+
+  System sys;
+  TraceLog trace;
+  FaultInjector fault;
+  GatewayChain chain;
+  CFifo* in = nullptr;
+  CFifo* mid = nullptr;
+  CFifo* fin = nullptr;
+  SourceTile* src = nullptr;
+  SinkTile* sink = nullptr;
+  ProcessorTile* proc = nullptr;
+};
+
+/// Everything externally visible about one finished run.
+struct Digest {
+  Cycle now = 0;
+  std::string trace_csv;
+  std::int64_t emitted = 0;
+  std::int64_t drops = 0;
+  std::vector<Flit> received;
+  std::vector<Cycle> stamps;
+  std::int64_t underruns = 0;
+  GatewayStats gw;
+  std::int64_t exit_delivered = 0;
+  std::int64_t ring_data_delivered = 0;
+  std::int64_t ring_credit_delivered = 0;
+  Cycle ring_data_stalls = 0;
+  Cycle ring_credit_stalls = 0;
+  std::int64_t in_pushed = 0;
+  std::int64_t mid_popped = 0;
+  std::int64_t proc_invocations = -1;
+  Cycle proc_busy = -1;
+  std::array<FaultSiteStats, kNumFaultSites> fsite{};
+  StepperStats stepper;
+};
+
+Digest run_scenario(const Params& p, bool dense) {
+  Scenario s(p);
+  if (dense)
+    s.sys.run_dense(p.run_cycles);
+  else
+    s.sys.run(p.run_cycles);
+
+  Digest d;
+  d.now = s.sys.now();
+  d.trace_csv = s.trace.to_csv();
+  d.emitted = s.src->emitted();
+  d.drops = s.src->dropped();
+  d.received = s.sink->received();
+  d.stamps = s.sink->timestamps();
+  d.underruns = s.sink->underruns();
+  d.gw = s.chain.entry->stats();
+  d.exit_delivered = s.chain.exit->samples_delivered();
+  d.ring_data_delivered = s.sys.ring().data().delivered();
+  d.ring_credit_delivered = s.sys.ring().credit().delivered();
+  d.ring_data_stalls = s.sys.ring().data().stall_cycles();
+  d.ring_credit_stalls = s.sys.ring().credit().stall_cycles();
+  d.in_pushed = s.in->total_pushed();
+  d.mid_popped = s.mid->total_popped();
+  if (s.proc != nullptr) {
+    d.proc_invocations = s.proc->invocations(0);
+    d.proc_busy = s.proc->busy_cycles();
+  }
+  for (int i = 0; i < kNumFaultSites; ++i)
+    d.fsite[static_cast<std::size_t>(i)] =
+        s.fault.stats(static_cast<FaultSite>(i));
+  d.stepper = s.sys.stepper_stats();
+  return d;
+}
+
+void expect_equivalent(const Digest& dense, const Digest& event) {
+  EXPECT_EQ(dense.now, event.now);
+  EXPECT_EQ(dense.trace_csv, event.trace_csv);
+  EXPECT_EQ(dense.emitted, event.emitted);
+  EXPECT_EQ(dense.drops, event.drops);
+  EXPECT_EQ(dense.received, event.received);
+  EXPECT_EQ(dense.stamps, event.stamps);
+  EXPECT_EQ(dense.underruns, event.underruns);
+  EXPECT_EQ(dense.gw.blocks, event.gw.blocks);
+  EXPECT_EQ(dense.gw.samples_forwarded, event.gw.samples_forwarded);
+  EXPECT_EQ(dense.gw.data_cycles, event.gw.data_cycles);
+  EXPECT_EQ(dense.gw.reconfig_cycles, event.gw.reconfig_cycles);
+  EXPECT_EQ(dense.gw.wait_cycles, event.gw.wait_cycles);
+  EXPECT_EQ(dense.gw.notify_timeouts, event.gw.notify_timeouts);
+  EXPECT_EQ(dense.gw.notify_retries, event.gw.notify_retries);
+  EXPECT_EQ(dense.gw.notify_recoveries, event.gw.notify_recoveries);
+  EXPECT_EQ(dense.gw.credit_stalls, event.gw.credit_stalls);
+  EXPECT_EQ(dense.gw.credit_stall_cycles, event.gw.credit_stall_cycles);
+  EXPECT_EQ(dense.exit_delivered, event.exit_delivered);
+  EXPECT_EQ(dense.ring_data_delivered, event.ring_data_delivered);
+  EXPECT_EQ(dense.ring_credit_delivered, event.ring_credit_delivered);
+  EXPECT_EQ(dense.ring_data_stalls, event.ring_data_stalls);
+  EXPECT_EQ(dense.ring_credit_stalls, event.ring_credit_stalls);
+  EXPECT_EQ(dense.in_pushed, event.in_pushed);
+  EXPECT_EQ(dense.mid_popped, event.mid_popped);
+  EXPECT_EQ(dense.proc_invocations, event.proc_invocations);
+  EXPECT_EQ(dense.proc_busy, event.proc_busy);
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    SCOPED_TRACE("fault site " + std::to_string(i));
+    EXPECT_EQ(dense.fsite[i].consults, event.fsite[i].consults);
+    EXPECT_EQ(dense.fsite[i].injected, event.fsite[i].injected);
+    EXPECT_EQ(dense.fsite[i].dropped, event.fsite[i].dropped);
+    EXPECT_EQ(dense.fsite[i].delay_cycles, event.fsite[i].delay_cycles);
+    EXPECT_EQ(dense.fsite[i].max_delay_seen, event.fsite[i].max_delay_seen);
+  }
+  // Conservation: every simulated cycle was either ticked or skipped.
+  EXPECT_EQ(event.stepper.dense_ticks + event.stepper.skipped_cycles,
+            event.now);
+  EXPECT_EQ(dense.stepper.dense_ticks, dense.now);
+  EXPECT_EQ(dense.stepper.skips, 0);
+}
+
+TEST(EventHorizon, RandomChainsFaultFree) {
+  std::mt19937_64 rng(0xACC0);  // fixed seed: the suite is reproducible
+  std::int64_t total_skipped = 0;
+  for (int iter = 0; iter < 10; ++iter) {
+    const Params p = random_params(rng, /*with_fault=*/false);
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    const Digest dense = run_scenario(p, /*dense=*/true);
+    const Digest event = run_scenario(p, /*dense=*/false);
+    expect_equivalent(dense, event);
+    total_skipped += event.stepper.skipped_cycles;
+  }
+  // The machinery must actually engage — a stepper that never skips would
+  // pass every equivalence check vacuously.
+  EXPECT_GT(total_skipped, 0);
+}
+
+TEST(EventHorizon, RandomChainsWithFaults) {
+  std::mt19937_64 rng(0xACC1);
+  std::int64_t total_skipped = 0;
+  for (int iter = 0; iter < 8; ++iter) {
+    const Params p = random_params(rng, /*with_fault=*/true);
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    const Digest dense = run_scenario(p, /*dense=*/true);
+    const Digest event = run_scenario(p, /*dense=*/false);
+    expect_equivalent(dense, event);
+    total_skipped += event.stepper.skipped_cycles;
+  }
+  EXPECT_GT(total_skipped, 0);
+}
+
+TEST(EventHorizon, SkipsDominateQuiescentTail) {
+  // Payload drains within a few thousand cycles; the remaining tail is pure
+  // quiescence the event stepper should jump over nearly for free.
+  Params p;
+  p.run_cycles = 30000;
+  const Digest event = run_scenario(p, /*dense=*/false);
+  EXPECT_GT(event.stepper.skips, 0);
+  EXPECT_GT(event.stepper.skipped_cycles, p.run_cycles / 2);
+}
+
+TEST(EventHorizon, RunUntilMatchesDenseStepping) {
+  // run_until with a STATE-based predicate must fire at the same cycle the
+  // dense reference finds by single-stepping.
+  Params p;
+  const std::int64_t want =
+      p.eta * p.payload_blocks / 2;  // mid-run, not at the quiescent tail
+  Scenario dense(p);
+  Cycle dense_fired = -1;
+  for (Cycle c = 0; c < p.run_cycles; ++c) {
+    if (dense.sink->received().size() >= static_cast<std::size_t>(want)) {
+      dense_fired = dense.sys.now();
+      break;
+    }
+    dense.sys.run_dense(1);
+  }
+  ASSERT_GE(dense_fired, 0);
+
+  Scenario event(p);
+  SinkTile* snk = event.sink;
+  const bool fired = event.sys.run_until(
+      [snk, want](Cycle) {
+        return snk->received().size() >= static_cast<std::size_t>(want);
+      },
+      p.run_cycles);
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(event.sys.now(), dense_fired);
+  EXPECT_EQ(event.sink->received(), dense.sink->received());
+}
+
+// --- Full PAL decoder demonstrator -------------------------------------
+
+app::PalSimConfig small_pal() {
+  app::PalSimConfig cfg;
+  cfg.input_samples = 1 << 11;  // short but covers many blocks per stream
+  return cfg;
+}
+
+void expect_same_pal(const app::PalSimResult& dense,
+                     const app::PalSimResult& event) {
+  EXPECT_EQ(dense.left, event.left);
+  EXPECT_EQ(dense.right, event.right);
+  EXPECT_EQ(dense.source_drops, event.source_drops);
+  EXPECT_EQ(dense.sink_underruns, event.sink_underruns);
+  EXPECT_EQ(dense.cycles_run, event.cycles_run);
+  EXPECT_EQ(dense.max_audio_latency, event.max_audio_latency);
+  EXPECT_EQ(dense.cordic_samples, event.cordic_samples);
+  EXPECT_EQ(dense.fir_samples, event.fir_samples);
+  EXPECT_EQ(dense.cordic_busy, event.cordic_busy);
+  EXPECT_EQ(dense.fir_busy, event.fir_busy);
+  EXPECT_EQ(dense.blocks_per_stream, event.blocks_per_stream);
+  EXPECT_EQ(dense.gateway.blocks, event.gateway.blocks);
+  EXPECT_EQ(dense.gateway.samples_forwarded, event.gateway.samples_forwarded);
+  EXPECT_EQ(dense.gateway.data_cycles, event.gateway.data_cycles);
+  EXPECT_EQ(dense.gateway.reconfig_cycles, event.gateway.reconfig_cycles);
+  EXPECT_EQ(dense.gateway.wait_cycles, event.gateway.wait_cycles);
+  EXPECT_EQ(dense.gateway.credit_stall_cycles,
+            event.gateway.credit_stall_cycles);
+}
+
+TEST(EventHorizon, PalDecoderEquivalence) {
+  app::PalSimConfig cfg = small_pal();
+  cfg.dense_stepper = true;
+  const app::PalSimResult dense = app::run_pal_decoder(cfg);
+  cfg.dense_stepper = false;
+  const app::PalSimResult event = app::run_pal_decoder(cfg);
+  expect_same_pal(dense, event);
+  EXPECT_EQ(dense.stepper.skips, 0);
+  EXPECT_GT(event.stepper.skipped_cycles, 0);
+}
+
+TEST(EventHorizon, PalDecoderEquivalenceUnderFaults) {
+  const auto run = [](bool dense) {
+    FaultInjector inj(0xFA117);
+    FaultSpec ring;
+    ring.probability = 0.01;
+    ring.max_delay = 4;
+    ring.min_spacing = 200;
+    inj.configure(FaultSite::kRingLink, ring);
+    FaultSpec bus;
+    bus.probability = 0.4;
+    bus.max_delay = 50;
+    inj.configure(FaultSite::kConfigBus, bus);
+    FaultSpec notify;
+    notify.probability = 0.3;
+    notify.max_delay = 20;
+    notify.drop_probability = 0.1;
+    inj.configure(FaultSite::kExitNotify, notify);
+    TraceLog trace(1 << 18);
+    app::PalSimConfig cfg = small_pal();
+    cfg.dense_stepper = dense;
+    cfg.fault = &inj;
+    cfg.trace = &trace;
+    cfg.notify_timeout = 2000;  // recovery: drops must not deadlock
+    app::PalSimResult res = app::run_pal_decoder(cfg);
+    return std::make_pair(std::move(res), trace.to_csv());
+  };
+  const auto [dense, dense_csv] = run(true);
+  const auto [event, event_csv] = run(false);
+  expect_same_pal(dense, event);
+  EXPECT_EQ(dense_csv, event_csv);
+  EXPECT_EQ(dense.gateway.notify_timeouts, event.gateway.notify_timeouts);
+  EXPECT_EQ(dense.gateway.notify_recoveries, event.gateway.notify_recoveries);
+}
+
+TEST(EventHorizon, PalDedicatedDecoderEquivalence) {
+  app::PalSimConfig cfg = small_pal();
+  cfg.dense_stepper = true;
+  const app::PalSimResult dense = app::run_pal_decoder_dedicated(cfg);
+  cfg.dense_stepper = false;
+  const app::PalSimResult event = app::run_pal_decoder_dedicated(cfg);
+  expect_same_pal(dense, event);
+}
+
+}  // namespace
+}  // namespace acc::sim
