@@ -1,0 +1,30 @@
+# Runs `acc-lint --json <config>` and byte-compares the output against a
+# committed golden document. Invoked from ctest:
+#   cmake -DACC_LINT=... -DCONFIG=... -DGOLDEN=... -DOUT=...
+#         -P lint_golden_diff.cmake
+foreach(var ACC_LINT CONFIG GOLDEN OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "lint_golden_diff.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${ACC_LINT} --json ${CONFIG}
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE rc)
+# Exit 0 (clean) and 2 (findings) are both valid producer outcomes; the
+# golden pins which one we expect for this config.
+if(NOT rc EQUAL 0 AND NOT rc EQUAL 2)
+  message(FATAL_ERROR "acc-lint --json failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E cat ${OUT})
+  message(FATAL_ERROR
+    "acc-lint --json output for ${CONFIG} diverged from golden ${GOLDEN}; "
+    "if the change is intentional, regenerate the golden with "
+    "'acc-lint --json <config> > ${GOLDEN}'")
+endif()

@@ -1,6 +1,7 @@
 // accshare_analyze — the command-line front door of the analysis library.
 //
 //   usage: accshare_analyze [spec.json] [--out report.md] [--dump-spec]
+//                           [--no-lint]
 //
 // Reads a shared-system specification (JSON; see sharing/serialize.hpp for
 // the format), runs the full design analysis (Algorithm-1 block sizes via
@@ -12,6 +13,7 @@
 #include <sstream>
 #include <string>
 
+#include "lint/linter.hpp"
 #include "sharing/report.hpp"
 #include "sharing/serialize.hpp"
 
@@ -44,9 +46,11 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--dump-spec") {
       dump_spec = true;
+    } else if (arg == "--no-lint") {
+      // handled by lint::startup_gate below
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: accshare_analyze [spec.json] [--out report.md] "
-                   "[--dump-spec]\n";
+                   "[--dump-spec] [--no-lint]\n";
       return 0;
     } else {
       spec_path = arg;
@@ -78,6 +82,13 @@ int main(int argc, char** argv) {
     std::cout << sharing::spec_to_string(sys) << "\n";
     return 0;
   }
+
+  // Static admissibility before the (much heavier) full analysis; a spec
+  // that fails Eq. 2-4 preconditions would only produce nonsense bounds.
+  lint::LintInput li;
+  li.name = spec_path.empty() ? "pal-case-study" : spec_path;
+  li.spec = sys;
+  if (!lint::startup_gate(argc, argv, li, std::cerr)) return 2;
 
   // Buffer sizing on the full PAL-scale system is expensive (blocks of
   // ~10k); skip it for large blocks, the report notes the omission.

@@ -18,6 +18,7 @@
 
 #include "common/table.hpp"
 #include "dataflow/buffer_sizing.hpp"
+#include "lint/linter.hpp"
 #include "sharing/analysis.hpp"
 #include "sharing/blocksize.hpp"
 #include "sharing/nonmonotone.hpp"
@@ -26,12 +27,14 @@ int main(int argc, char** argv) {
   using namespace acc;
   using namespace acc::sharing;
 
-  // Pull --jobs N out of argv; the remaining arguments stay positional.
+  // Pull --jobs N / --no-lint out of argv; the rest stays positional.
   int jobs = 1;
   std::vector<char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
       jobs = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--no-lint") == 0)
+      ;  // handled by lint::startup_gate below
     else
       pos.push_back(argv[i]);
   }
@@ -47,6 +50,13 @@ int main(int argc, char** argv) {
   sys.chain.entry_cycles_per_sample = epsilon;
   sys.chain.exit_cycles_per_sample = 1;
   sys.streams = {{"s", Rational(1, period), reconfig}};
+
+  // Static admissibility of the user-chosen parameters: infeasible or
+  // malformed corners are rejected up front (--no-lint to explore anyway).
+  lint::LintInput li;
+  li.name = "blocksize-explorer";
+  li.spec = sys;
+  if (!lint::startup_gate(argc, argv, li, std::cerr)) return 2;
 
   std::cout << "chain: epsilon=" << epsilon << ", rho_A=1, delta=1, R="
             << reconfig << "; stream rate mu=1/" << period

@@ -17,6 +17,7 @@
 #include "accel/fir.hpp"
 #include "accel/mixer.hpp"
 #include "common/table.hpp"
+#include "lint/linter.hpp"
 #include "radio/metrics.hpp"
 #include "radio/signal.hpp"
 #include "sim/gateway.hpp"
@@ -63,8 +64,45 @@ std::vector<double> drain_and_discriminate(sim::CFifo& f, sim::Cycle now) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::size_t kSamples = 1 << 13;
+
+  // Static admissibility gate over the two-domain architecture: both
+  // gateway pairs, their C-FIFOs and per-block output quanta (G01/G02/M10).
+  // Logical stream indices: 0/1 = domain-1 FM, 2/3 = domain-2 shifters.
+  {
+    lint::LintInput li;
+    li.name = "dual-gateway-system";
+    li.fifos = {{"d1.in0", 512},  {"d1.in1", 512},
+                {"d1.out0", 4096}, {"d1.out1", 4096},
+                {"d2.in0", 256},  {"d2.in1", 256},
+                {"d2.out0", 1 << 14}, {"d2.out1", 1 << 14}};
+    li.etas = {128, 128, 64, 64};
+    li.block_out = {32, 32, 64, 64};  // domain 1 decimates by 4
+    lint::GatewayDecl d1_entry_decl;
+    d1_entry_decl.name = "d1.entry";
+    d1_entry_decl.is_entry = true;
+    d1_entry_decl.chain = "d1";
+    d1_entry_decl.streams = {0, 1};
+    d1_entry_decl.consumer_fifos = {"d1.out0", "d1.out1"};
+    lint::GatewayDecl d1_exit_decl;
+    d1_exit_decl.name = "d1.exit";
+    d1_exit_decl.is_entry = false;
+    d1_exit_decl.chain = "d1";
+    lint::GatewayDecl d2_entry_decl;
+    d2_entry_decl.name = "d2.entry";
+    d2_entry_decl.is_entry = true;
+    d2_entry_decl.chain = "d2";
+    d2_entry_decl.streams = {2, 3};
+    d2_entry_decl.consumer_fifos = {"d2.out0", "d2.out1"};
+    lint::GatewayDecl d2_exit_decl;
+    d2_exit_decl.name = "d2.exit";
+    d2_exit_decl.is_entry = false;
+    d2_exit_decl.chain = "d2";
+    li.gateways = {d1_entry_decl, d1_exit_decl, d2_entry_decl, d2_exit_decl};
+    if (!lint::startup_gate(argc, argv, li, std::cerr)) return 2;
+  }
+
   sim::System sys(7);
 
   // ---- Domain 1: FM receivers over CORDIC+FIR (nodes 0..3). ----

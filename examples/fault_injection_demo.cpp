@@ -18,6 +18,7 @@
 
 #include "accel/mixer.hpp"
 #include "common/table.hpp"
+#include "lint/linter.hpp"
 #include "sharing/analysis.hpp"
 #include "sharing/conformance.hpp"
 #include "sim/chain_builder.hpp"
@@ -40,7 +41,7 @@ std::vector<sim::Flit> tone_iq(double freq_norm, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::size_t kSamples = 4096;
   const std::int64_t kEta = 64;
   const sim::Cycle kPeriod = 16;
@@ -76,6 +77,25 @@ int main() {
   cfg.trace = &trace;
   cfg.fault = &inj;
   cfg.retry.notify_timeout = 20000;  // recovery backstop, never the plan
+
+  // Analytical model of the same chain (also feeds conformance below).
+  sharing::SharedSystemSpec spec;
+  spec.chain.accel_cycles_per_sample = {1};
+  spec.chain.entry_cycles_per_sample = cfg.epsilon;
+  spec.chain.exit_cycles_per_sample = 1;
+  spec.streams = {{"s0", Rational(1, kPeriod), kReconfig},
+                  {"s1", Rational(1, kPeriod), kReconfig}};
+  const std::vector<std::int64_t> etas{kEta, kEta};
+
+  // Static admissibility gate, fault envelope included (--no-lint skips):
+  // the seeded injector must pass F01-F03 before anything is simulated.
+  lint::LintInput li;
+  li.name = "fault-injection-demo";
+  li.spec = spec;
+  li.etas = etas;
+  li.faults = lint::faults_from_injector(inj);
+  if (!lint::startup_gate(argc, argv, li, std::cerr)) return 2;
+
   sim::GatewayChain chain = sim::build_gateway_chain(sys, cfg);
 
   sim::CFifo* ins[2];
@@ -97,14 +117,7 @@ int main() {
   }
   sys.run(static_cast<sim::Cycle>(kSamples) * kPeriod + 100000);
 
-  // 2-3. Analytical model of the same chain, envelope-aware conformance.
-  sharing::SharedSystemSpec spec;
-  spec.chain.accel_cycles_per_sample = {1};
-  spec.chain.entry_cycles_per_sample = cfg.epsilon;
-  spec.chain.exit_cycles_per_sample = 1;
-  spec.streams = {{"s0", Rational(1, kPeriod), kReconfig},
-                  {"s1", Rational(1, kPeriod), kReconfig}};
-  const std::vector<std::int64_t> etas{kEta, kEta};
+  // 2-3. Envelope-aware conformance against the analytical model.
   sharing::ConformanceOptions copts;
   sharing::Time tau_max = 0;
   for (std::size_t s = 0; s < 2; ++s)

@@ -20,6 +20,7 @@
 #include "accel/fir.hpp"
 #include "accel/mixer.hpp"
 #include "common/table.hpp"
+#include "lint/linter.hpp"
 #include "radio/metrics.hpp"
 #include "radio/signal.hpp"
 #include "sharing/analysis.hpp"
@@ -58,7 +59,7 @@ std::vector<sim::Flit> make_fm_input(const RadioSpec& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int kDecim = 4;
   const RadioSpec radios[2] = {
       {"radio-A", 0.21, 0.002, 32, 1 << 14},
@@ -72,6 +73,12 @@ int main() {
   spec.chain.exit_cycles_per_sample = 1;
   spec.streams = {{radios[0].name, Rational(1, radios[0].period), 400},
                   {radios[1].name, Rational(1, radios[1].period), 400}};
+  // Static admissibility gate (--no-lint skips).
+  lint::LintInput li;
+  li.name = "multi-radio-sharing";
+  li.spec = spec;
+  if (!lint::startup_gate(argc, argv, li, std::cerr)) return 2;
+
   std::cout << "utilization = " << sharing::utilization(spec).to_double()
             << "\n";
   sharing::BlockSizeResult blocks = sharing::solve_block_sizes_fixpoint(spec);

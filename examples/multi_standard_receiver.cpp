@@ -14,6 +14,7 @@
 
 #include "accel/mixer.hpp"
 #include "common/table.hpp"
+#include "lint/linter.hpp"
 #include "radio/metrics.hpp"
 #include "radio/signal.hpp"
 #include "sharing/analysis.hpp"
@@ -36,7 +37,7 @@ std::vector<sim::Flit> pack(const std::vector<radio::cplx>& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::size_t kSamples = 1 << 14;
   const double fm_tone = 0.004;
   const double am_tone = 0.002;
@@ -47,6 +48,13 @@ int main() {
   spec.chain.entry_cycles_per_sample = 4;
   spec.chain.exit_cycles_per_sample = 1;
   spec.streams = {{"fm", Rational(1, 24), 300}, {"am", Rational(1, 32), 300}};
+
+  // Static admissibility gate (--no-lint skips).
+  lint::LintInput li;
+  li.name = "multi-standard-receiver";
+  li.spec = spec;
+  if (!lint::startup_gate(argc, argv, li, std::cerr)) return 2;
+
   const sharing::BlockSizeResult blocks =
       sharing::solve_block_sizes_fixpoint(spec);
   if (!blocks.feasible) {

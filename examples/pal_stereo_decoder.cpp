@@ -10,14 +10,21 @@
 
 #include "app/pal_system.hpp"
 #include "common/table.hpp"
+#include "lint/linter.hpp"
 #include "radio/metrics.hpp"
 #include "radio/wav.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acc;
 
   app::PalSimConfig cfg;
   cfg.input_samples = 1 << 16;  // ~1k audio samples per channel
+
+  // Static admissibility first: the full assembled model (block sizes,
+  // C-FIFO capacities, gateway wiring). --no-lint skips the gate.
+  if (!lint::startup_gate(argc, argv, app::make_lint_input(cfg), std::cerr))
+    return 2;
+  cfg.lint = false;  // already linted; don't re-check inside the run
 
   std::cout << "Synthesizing PAL stereo broadcast: L=" << cfg.tone_left_hz
             << " Hz, R=" << cfg.tone_right_hz << " Hz, carriers at "

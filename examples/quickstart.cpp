@@ -13,12 +13,13 @@
 #include <iostream>
 
 #include "dataflow/dot.hpp"
+#include "lint/linter.hpp"
 #include "sharing/analysis.hpp"
 #include "sharing/blocksize.hpp"
 #include "sharing/csdf_model.hpp"
 #include "sharing/sdf_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acc;
   using namespace acc::sharing;
 
@@ -32,6 +33,13 @@ int main() {
       {"radio-a", Rational(1, 50), /*reconfig=*/4100},
       {"radio-b", Rational(1, 80), /*reconfig=*/4100},
   };
+
+  // 1b. Static admissibility (acc-lint): Eq. 2-4 preconditions and
+  //     feasibility, before any solver runs. --no-lint skips it.
+  lint::LintInput li;
+  li.name = "quickstart";
+  li.spec = sys;
+  if (!lint::startup_gate(argc, argv, li, std::cerr)) return 2;
 
   // 2. Schedulability: the bottleneck stage must keep up with the sum of
   //    stream rates.

@@ -75,6 +75,56 @@ std::vector<sim::Flit> synthesize_flits(const PalSimConfig& cfg) {
 
 }  // namespace
 
+lint::LintInput make_lint_input(const PalSimConfig& cfg) {
+  lint::LintInput in;
+  in.name = "pal-decoder";
+  in.spec = make_system_spec(cfg);
+
+  // Resolve block sizes where possible; an infeasible spec leaves etas
+  // empty and the linter reports M09 from the utilization test instead.
+  std::int64_t eta1 = 0;
+  std::int64_t eta2 = 0;
+  try {
+    solve_blocks(cfg, *in.spec, &eta1, &eta2);
+  } catch (const std::exception&) {
+    eta1 = eta2 = 0;
+  }
+  if (eta1 > 0 && eta2 > 0) {
+    in.etas = {eta1, eta1, eta2, eta2};
+    const std::int64_t burst = eta2 / cfg.decimation;
+    in.fifos = {{"in.ch1", cfg.fifo_slack * eta1},
+                {"in.ch2", cfg.fifo_slack * eta1},
+                {"mid.ch1", cfg.fifo_slack * eta2},
+                {"mid.ch2", cfg.fifo_slack * eta2},
+                {"audio.ch1", cfg.fifo_slack * burst + 64},
+                {"audio.ch2", cfg.fifo_slack * burst + 64}};
+    in.stream_fifos = {"in.ch1", "in.ch2", "mid.ch1", "mid.ch2"};
+    // Each stage-1 block leaves eta1/decimation samples in its mid FIFO;
+    // each stage-2 block leaves eta2/decimation samples in its audio FIFO.
+    in.block_out = {eta1 / cfg.decimation, eta1 / cfg.decimation, burst,
+                    burst};
+    lint::GatewayDecl entry;
+    entry.name = "entry";
+    entry.is_entry = true;
+    entry.chain = "cordic+fir";
+    entry.streams = {0, 1, 2, 3};
+    entry.consumer_fifos = {"mid.ch1", "mid.ch2", "audio.ch1", "audio.ch2"};
+    lint::GatewayDecl exit;
+    exit.name = "exit";
+    exit.is_entry = false;
+    exit.chain = "cordic+fir";
+    in.gateways = {std::move(entry), std::move(exit)};
+  }
+
+  if (cfg.fault != nullptr) in.faults = lint::faults_from_injector(*cfg.fault);
+
+  lint::DeterminismDecl det;
+  det.event_stepper = !cfg.dense_stepper;
+  det.rng_seeded = true;  // the broadcast synthesis is closed-form, no RNG
+  in.determinism = det;
+  return in;
+}
+
 sharing::SharedSystemSpec make_system_spec(const PalSimConfig& cfg) {
   sharing::SharedSystemSpec spec;
   spec.chain.accel_cycles_per_sample = {cfg.accel_cycles, cfg.accel_cycles};
@@ -93,6 +143,11 @@ sharing::SharedSystemSpec make_system_spec(const PalSimConfig& cfg) {
 }
 
 PalSimResult run_pal_decoder(const PalSimConfig& cfg) {
+  if (cfg.lint) {
+    const lint::LintReport rep = lint::lint_input(make_lint_input(cfg));
+    ACC_EXPECTS_MSG(rep.clean(),
+                    "configuration rejected by acc-lint:\n" + rep.to_text());
+  }
   PalSimResult res;
   const sharing::SharedSystemSpec spec = make_system_spec(cfg);
   res.utilization = sharing::utilization(spec);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lint/linter.hpp"
 #include "radio/signal.hpp"
 #include "sharing/spec.hpp"
 #include "sim/fault.hpp"
@@ -73,6 +74,12 @@ struct PalSimConfig {
   /// event-horizon stepper. Cycle-exact either way — this switch exists for
   /// equivalence tests and the E9 dense-vs-event benchmark.
   bool dense_stepper = false;
+
+  /// Run acc-lint over the assembled configuration (resolved block sizes,
+  /// C-FIFO capacities, gateway wiring, fault config) before simulating;
+  /// error-tier findings abort the run. The examples' --no-lint flag and
+  /// tests that deliberately build broken systems turn this off.
+  bool lint = true;
 };
 
 struct PalSimResult {
@@ -110,6 +117,12 @@ struct PalSimResult {
 
 /// The SharedSystemSpec (Algorithm-1 input) implied by a PalSimConfig.
 [[nodiscard]] sharing::SharedSystemSpec make_system_spec(const PalSimConfig& cfg);
+
+/// The full lintable model of the demonstrator: spec, resolved block sizes
+/// (when feasible), C-FIFO capacities, the entry/exit gateway pair with its
+/// consumer wiring, the fault config and the determinism posture. This is
+/// what run_pal_decoder lints before building the system.
+[[nodiscard]] lint::LintInput make_lint_input(const PalSimConfig& cfg);
 
 /// Build, run and measure the whole demonstrator.
 [[nodiscard]] PalSimResult run_pal_decoder(const PalSimConfig& cfg);

@@ -1,0 +1,46 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// The timing analyses accumulate cycle counts (tau_hat, gamma_hat) whose
+// inputs come straight from user configurations; a wrapped accumulation
+// would silently turn an infeasible system into an "admissible" one. These
+// helpers throw std::overflow_error instead, which both the analyses and
+// the static linter (lint rule M08 gamma-overflow) rely on.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace acc {
+
+[[nodiscard]] inline std::int64_t checked_add(std::int64_t a, std::int64_t b,
+                                              const char* what = "add") {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) {
+    throw std::overflow_error(std::string("int64 overflow in ") + what + ": " +
+                              std::to_string(a) + " + " + std::to_string(b));
+  }
+  return r;
+}
+
+[[nodiscard]] inline std::int64_t checked_sub(std::int64_t a, std::int64_t b,
+                                              const char* what = "sub") {
+  std::int64_t r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) {
+    throw std::overflow_error(std::string("int64 overflow in ") + what + ": " +
+                              std::to_string(a) + " - " + std::to_string(b));
+  }
+  return r;
+}
+
+[[nodiscard]] inline std::int64_t checked_mul(std::int64_t a, std::int64_t b,
+                                              const char* what = "mul") {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    throw std::overflow_error(std::string("int64 overflow in ") + what + ": " +
+                              std::to_string(a) + " * " + std::to_string(b));
+  }
+  return r;
+}
+
+}  // namespace acc

@@ -1,0 +1,174 @@
+#include "lint/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace acc::lint {
+
+void LintReport::add(std::string_view rule, std::string location,
+                     std::string message, std::string hint) {
+  const RuleInfo* info = find_rule(rule);
+  ACC_EXPECTS_MSG(info != nullptr,
+                  "unknown lint rule '" + std::string(rule) + "'");
+  diags_.push_back(Diagnostic{info->id, info->name, info->severity,
+                              std::move(location), std::move(message),
+                              std::move(hint)});
+}
+
+bool LintReport::has(std::string_view rule) const {
+  return std::any_of(diags_.begin(), diags_.end(), [&](const Diagnostic& d) {
+    return d.rule == rule || d.name == rule;
+  });
+}
+
+void LintReport::suppress(const std::vector<std::string>& rules) {
+  if (rules.empty()) return;
+  diags_.erase(std::remove_if(diags_.begin(), diags_.end(),
+                              [&](const Diagnostic& d) {
+                                return std::find(rules.begin(), rules.end(),
+                                                 d.rule) != rules.end() ||
+                                       std::find(rules.begin(), rules.end(),
+                                                 d.name) != rules.end();
+                              }),
+               diags_.end());
+}
+
+int LintReport::count(Severity s) const {
+  return static_cast<int>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::string LintReport::to_text() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << config_;
+    if (!d.location.empty()) os << ':' << d.location;
+    os << ": " << severity_name(d.severity) << " [" << d.rule << " "
+       << d.name << "] " << d.message << '\n';
+    if (!d.hint.empty()) os << "    hint: " << d.hint << '\n';
+  }
+  os << config_ << ": " << errors() << " error(s), " << warnings()
+     << " warning(s), " << notes() << " note(s)\n";
+  return os.str();
+}
+
+json::Value LintReport::to_json() const {
+  json::Array diags;
+  for (const Diagnostic& d : diags_) {
+    json::Object o;
+    o["rule"] = d.rule;
+    o["name"] = d.name;
+    o["severity"] = severity_name(d.severity);
+    o["location"] = d.location;
+    o["message"] = d.message;
+    o["hint"] = d.hint;
+    diags.emplace_back(std::move(o));
+  }
+  json::Object summary;
+  summary["errors"] = errors();
+  summary["warnings"] = warnings();
+  summary["notes"] = notes();
+  json::Object root;
+  root["schema"] = "acc-lint-v1";
+  root["config"] = config_;
+  root["summary"] = std::move(summary);
+  root["diagnostics"] = std::move(diags);
+  return root;
+}
+
+namespace {
+
+void require(std::vector<std::string>& problems, bool ok, const std::string& msg) {
+  if (!ok) problems.push_back(msg);
+}
+
+}  // namespace
+
+std::vector<std::string> validate_lint_json(const json::Value& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_object()) {
+    problems.emplace_back("$: document must be an object");
+    return problems;
+  }
+  const json::Value* schema = doc.find("schema");
+  require(problems, schema != nullptr && schema->is_string() &&
+                        schema->as_string() == "acc-lint-v1",
+          "$.schema: must be the string \"acc-lint-v1\"");
+  const json::Value* config = doc.find("config");
+  require(problems, config != nullptr && config->is_string(),
+          "$.config: must be a string");
+
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+  const json::Value* diags = doc.find("diagnostics");
+  if (diags == nullptr || !diags->is_array()) {
+    problems.emplace_back("$.diagnostics: must be an array");
+  } else {
+    for (std::size_t i = 0; i < diags->as_array().size(); ++i) {
+      const std::string at = "$.diagnostics[" + std::to_string(i) + "]";
+      const json::Value& d = diags->as_array()[i];
+      if (!d.is_object()) {
+        problems.push_back(at + ": must be an object");
+        continue;
+      }
+      for (const char* key : {"rule", "name", "severity", "location",
+                              "message", "hint"}) {
+        const json::Value* v = d.find(key);
+        require(problems, v != nullptr && v->is_string(),
+                at + "." + key + ": must be a string");
+      }
+      const json::Value* rule = d.find("rule");
+      const RuleInfo* info =
+          rule != nullptr && rule->is_string() ? find_rule(rule->as_string())
+                                               : nullptr;
+      require(problems, info != nullptr,
+              at + ".rule: not a catalog rule ID");
+      const json::Value* sev = d.find("severity");
+      if (sev != nullptr && sev->is_string()) {
+        const std::string& s = sev->as_string();
+        if (s == "error") {
+          ++errors;
+        } else if (s == "warning") {
+          ++warnings;
+        } else if (s == "note") {
+          ++notes;
+        } else {
+          problems.push_back(at + ".severity: must be error|warning|note");
+        }
+        // The document must carry the catalog severity for the rule — a
+        // producer downgrading an error to a note is a schema breach.
+        if (info != nullptr) {
+          require(problems, s == severity_name(info->severity),
+                  at + ".severity: does not match catalog severity of " +
+                      info->id);
+        }
+      }
+    }
+  }
+
+  const json::Value* summary = doc.find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    problems.emplace_back("$.summary: must be an object");
+  } else {
+    for (const char* key : {"errors", "warnings", "notes"}) {
+      const json::Value* v = summary->find(key);
+      require(problems, v != nullptr && v->is_int(),
+              std::string("$.summary.") + key + ": must be an integer");
+    }
+    if (problems.empty()) {
+      require(problems, summary->at("errors").as_int() == errors,
+              "$.summary.errors: does not match diagnostics[]");
+      require(problems, summary->at("warnings").as_int() == warnings,
+              "$.summary.warnings: does not match diagnostics[]");
+      require(problems, summary->at("notes").as_int() == notes,
+              "$.summary.notes: does not match diagnostics[]");
+    }
+  }
+  return problems;
+}
+
+}  // namespace acc::lint

@@ -1,0 +1,73 @@
+// Diagnostics produced by the model linter: rule-tagged, located findings
+// with fix-it hints, renderable as human text or as the machine-readable
+// acc-lint-v1 JSON document (schema pinned by validate_lint_json, in the
+// same golden-schema style as common/bench_schema.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "lint/rules.hpp"
+
+namespace acc::lint {
+
+/// One finding. `location` is a JSON-path-like pointer into the
+/// configuration ("$.streams[2].reconfig"); for in-memory inputs the same
+/// paths are synthesized so tooling sees one address space.
+struct Diagnostic {
+  std::string rule;      // stable ID from the catalog, e.g. "M04"
+  std::string name;      // catalog mnemonic, e.g. "eta-positive"
+  Severity severity = Severity::kError;
+  std::string location;  // "$.etas[1]"; empty = whole config
+  std::string message;   // what is wrong, with the offending values
+  std::string hint;      // fix-it suggestion; may be empty
+};
+
+class LintReport {
+ public:
+  explicit LintReport(std::string config_name)
+      : config_(std::move(config_name)) {}
+
+  /// Append a diagnostic for `rule` (catalog ID or name — must exist).
+  void add(std::string_view rule, std::string location, std::string message,
+           std::string hint = {});
+
+  [[nodiscard]] const std::string& config() const { return config_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] int errors() const { return count(Severity::kError); }
+  [[nodiscard]] int warnings() const { return count(Severity::kWarning); }
+  [[nodiscard]] int notes() const { return count(Severity::kNote); }
+  /// Clean = deployable: no error-tier findings (warnings/notes allowed).
+  [[nodiscard]] bool clean() const { return errors() == 0; }
+
+  /// Does any diagnostic carry this rule (by ID or name)?
+  [[nodiscard]] bool has(std::string_view rule) const;
+
+  /// Drop diagnostics whose rule ID or name appears in `rules`.
+  void suppress(const std::vector<std::string>& rules);
+
+  /// Human-readable rendering, one "config:location: severity [ID] msg"
+  /// line per diagnostic plus a summary line.
+  [[nodiscard]] std::string to_text() const;
+
+  /// The acc-lint-v1 JSON document (see validate_lint_json).
+  [[nodiscard]] json::Value to_json() const;
+
+ private:
+  [[nodiscard]] int count(Severity s) const;
+
+  std::string config_;
+  std::vector<Diagnostic> diags_;
+};
+
+/// Golden schema for the acc-lint-v1 JSON document: key presence and kinds,
+/// severity/rule-ID vocabulary, and the semantic invariant that the summary
+/// counters match the diagnostics array. One problem string per breach;
+/// empty = valid.
+[[nodiscard]] std::vector<std::string> validate_lint_json(
+    const json::Value& doc);
+
+}  // namespace acc::lint

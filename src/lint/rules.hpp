@@ -1,0 +1,102 @@
+// The acc-lint rule catalog.
+//
+// Every diagnostic the model linter can emit carries one of these rule IDs.
+// The catalog is the single source of truth: the linter, the CLI's --rules
+// listing, the JSON schema validator and docs/static_analysis.md all derive
+// from it. IDs are stable — suppressions and golden fixtures reference them
+// — so rules may be added but never renumbered.
+//
+// Severity policy (see docs/static_analysis.md):
+//   error   — the configuration violates a precondition of the paper's
+//             temporal guarantees (Eq. 2-5, deadlock-freedom, gateway
+//             protocol). Deploying it is unsound; acc-lint exits non-zero.
+//   warning — the configuration is sound but carries an operational hazard
+//             (nondeterminism, no headroom). Deployment is allowed.
+//   note    — informational; surfaced so reviews see it, never gating.
+#pragma once
+
+#include <string_view>
+
+namespace acc::lint {
+
+enum class Severity : int { kNote = 0, kWarning = 1, kError = 2 };
+
+[[nodiscard]] constexpr const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+struct RuleInfo {
+  const char* id;        // stable short ID, e.g. "M04"
+  const char* name;      // kebab-case mnemonic, e.g. "eta-positive"
+  Severity severity;     // default severity tier
+  const char* summary;   // one-line catalog entry
+};
+
+inline constexpr RuleInfo kRules[] = {
+    {"C01", "config-invalid", Severity::kError,
+     "configuration is structurally malformed (missing key, wrong type, "
+     "out-of-range value)"},
+    {"M01", "graph-inconsistent", Severity::kError,
+     "dataflow graph has no positive repetition vector (rate mismatch; no "
+     "periodic schedule exists)"},
+    {"M02", "graph-deadlock", Severity::kError,
+     "dataflow graph contains a zero-token cycle (static deadlock)"},
+    {"M03", "channel-undersized", Severity::kError,
+     "bounded channel capacity is below a single firing's quantum (the "
+     "endpoint can never fire)"},
+    {"M04", "eta-positive", Severity::kError,
+     "block size eta_s must be >= 1 (Eq. 2 precondition)"},
+    {"M05", "reconfig-negative", Severity::kError,
+     "context-switch cost R_s must be >= 0 (Eq. 2 precondition)"},
+    {"M06", "bottleneck-undefined", Severity::kError,
+     "max(epsilon, rho_A, delta) ill-defined: empty chain, no streams, or a "
+     "stage cost < 1"},
+    {"M07", "ni-capacity", Severity::kError,
+     "NI FIFO capacity < 2 breaks the conservativeness of tau_hat (Eq. 2)"},
+    {"M08", "gamma-overflow", Severity::kError,
+     "gamma_hat accumulation (Eq. 4) overflows 64-bit cycle arithmetic"},
+    {"M09", "throughput-infeasible", Severity::kError,
+     "Eq. 5 unsatisfiable: utilization >= 1, or the given block sizes miss a "
+     "stream's throughput"},
+    {"M10", "fifo-undersized", Severity::kError,
+     "stream C-FIFO smaller than one block: the gateway admission check can "
+     "never pass"},
+    {"M11", "utilization-headroom", Severity::kWarning,
+     "utilization >= 0.95: schedulable but with almost no headroom"},
+    {"M12", "eta-above-minimum", Severity::kNote,
+     "block sizes exceed the Algorithm-1 minimum (extra latency, e.g. from "
+     "decimation alignment)"},
+    {"G01", "gateway-unpaired", Severity::kError,
+     "chain does not have exactly one entry and one exit gateway"},
+    {"G02", "gateway-space-unwired", Severity::kError,
+     "entry gateway stream lacks a consumer C-FIFO for its admission space "
+     "check"},
+    {"F01", "fault-site-unknown", Severity::kError,
+     "fault configuration names a site the simulator does not have"},
+    {"F02", "fault-unseeded", Severity::kError,
+     "active fault sites without an explicit seed: runs are unreproducible"},
+    {"F03", "fault-spec-invalid", Severity::kError,
+     "fault law out of range (probability, delay bound, window or spacing)"},
+    {"D01", "rng-unseeded", Severity::kWarning,
+     "workload RNG not explicitly seeded: reruns diverge"},
+    {"D02", "task-no-next-ready", Severity::kWarning,
+     "task without a next_ready horizon in an event-stepper system forces "
+     "dense ticking"},
+};
+
+inline constexpr int kNumRules = static_cast<int>(sizeof(kRules) / sizeof(kRules[0]));
+
+/// Look up a rule by ID ("M04") or name ("eta-positive"); nullptr if absent.
+[[nodiscard]] inline const RuleInfo* find_rule(std::string_view id_or_name) {
+  for (const RuleInfo& r : kRules) {
+    if (id_or_name == r.id || id_or_name == r.name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace acc::lint

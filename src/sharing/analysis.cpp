@@ -4,6 +4,8 @@
 #include <map>
 #include <sstream>
 
+#include "common/checked.hpp"
+
 namespace acc::sharing {
 
 Time bottleneck_cycles_per_sample(const ChainSpec& chain) {
@@ -28,8 +30,13 @@ Time tau_hat(const SharedSystemSpec& sys, std::size_t stream,
   ACC_EXPECTS_MSG(sys.chain.ni_capacity >= 2,
                   "tau_hat (Eq. 2) requires NI FIFO capacity >= 2");
   const Time c0 = bottleneck_cycles_per_sample(sys.chain);
-  return sys.streams[stream].reconfig +
-         (eta + pipeline_tail(sys.chain)) * c0;
+  // Checked: eta and R_s come straight from user configurations, and a
+  // wrapped tau_hat would certify an infeasible system as admissible.
+  return checked_add(
+      sys.streams[stream].reconfig,
+      checked_mul(checked_add(eta, pipeline_tail(sys.chain), "tau_hat"), c0,
+                  "tau_hat"),
+      "tau_hat (Eq. 2)");
 }
 
 Time s_hat(const SharedSystemSpec& sys, std::size_t stream,
@@ -37,7 +44,8 @@ Time s_hat(const SharedSystemSpec& sys, std::size_t stream,
   ACC_EXPECTS(etas.size() == sys.num_streams());
   Time total = 0;
   for (std::size_t i = 0; i < sys.num_streams(); ++i)
-    if (i != stream) total += tau_hat(sys, i, etas[i]);
+    if (i != stream)
+      total = checked_add(total, tau_hat(sys, i, etas[i]), "s_hat (Eq. 3)");
   return total;
 }
 
@@ -46,7 +54,7 @@ Time gamma_hat(const SharedSystemSpec& sys,
   ACC_EXPECTS(etas.size() == sys.num_streams());
   Time total = 0;
   for (std::size_t i = 0; i < sys.num_streams(); ++i)
-    total += tau_hat(sys, i, etas[i]);
+    total = checked_add(total, tau_hat(sys, i, etas[i]), "gamma_hat (Eq. 4)");
   return total;
 }
 
@@ -73,7 +81,9 @@ Time worst_case_sample_latency(const SharedSystemSpec& sys,
   ACC_EXPECTS(stream < sys.num_streams());
   ACC_EXPECTS(etas.size() == sys.num_streams());
   ACC_EXPECTS(sample_period >= 1);
-  return (etas[stream] - 1) * sample_period + gamma_hat(sys, etas);
+  return checked_add(
+      checked_mul(etas[stream] - 1, sample_period, "worst_case_sample_latency"),
+      gamma_hat(sys, etas), "worst_case_sample_latency");
 }
 
 BlockSchedule block_schedule(const SharedSystemSpec& sys, std::size_t stream,

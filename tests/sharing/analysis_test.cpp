@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hpp"
 
 namespace acc::sharing {
@@ -176,6 +178,44 @@ TEST(AnalysisProperty, SingleSlotNiBreaksEq2Bound) {
   EXPECT_GT(sch.completion, would_be_bound);
   // And the API refuses to hand out the invalid bound.
   EXPECT_THROW((void)tau_hat(sys, 0, eta), precondition_error);
+}
+
+// Eq. 2-4 use checked 64-bit arithmetic: parameters describing rounds
+// longer than 2^63 cycles must throw instead of silently wrapping into a
+// bogus (possibly negative) "bound".
+TEST(Analysis, GammaHatNearInt64MaxThrowsInsteadOfWrapping) {
+  SharedSystemSpec sys;
+  sys.chain.accel_cycles_per_sample = {std::numeric_limits<Time>::max() / 4};
+  sys.chain.entry_cycles_per_sample = 1;
+  sys.chain.exit_cycles_per_sample = 1;
+  sys.streams = {{"huge", Rational(1, 1000), 0},
+                 {"huge2", Rational(1, 1000), 0}};
+  // (eta + tail) * c0 alone exceeds INT64_MAX for eta >= 4.
+  EXPECT_THROW((void)tau_hat(sys, 0, 1000), std::overflow_error);
+  EXPECT_THROW((void)gamma_hat(sys, {1000, 1000}), std::overflow_error);
+  EXPECT_THROW((void)s_hat(sys, 1, {1000, 1000}), std::overflow_error);
+
+  // Reconfiguration cost near the limit overflows the ADD, not the mul.
+  SharedSystemSpec sys2;
+  sys2.chain.accel_cycles_per_sample = {1};
+  sys2.chain.entry_cycles_per_sample = 1;
+  sys2.chain.exit_cycles_per_sample = 1;
+  sys2.streams = {{"r", Rational(1, 1000),
+                   std::numeric_limits<Time>::max() - 10}};
+  EXPECT_THROW((void)tau_hat(sys2, 0, 100), std::overflow_error);
+
+  // Two reconfig costs that each fit but whose SUM wraps (Eq. 4's
+  // accumulation) must also throw.
+  SharedSystemSpec sys3 = sys2;
+  sys3.streams = {{"a", Rational(1, 1000),
+                   std::numeric_limits<Time>::max() / 2},
+                  {"b", Rational(1, 1000),
+                   std::numeric_limits<Time>::max() / 2}};
+  EXPECT_NO_THROW((void)tau_hat(sys3, 0, 1));
+  EXPECT_THROW((void)gamma_hat(sys3, {1, 1}), std::overflow_error);
+
+  // Sanity: a normal system is unaffected.
+  EXPECT_GT(gamma_hat(paper_like_system(), {160, 160, 24, 24}), 0);
 }
 
 // Property: schedule entries are consistent — per stage, sample j starts
