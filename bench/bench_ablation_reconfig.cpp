@@ -7,21 +7,43 @@
 // ~429k cycles implied by the paper's software-switching duty figure, and
 // report the Algorithm-1 block sizes, the round length (= worst-case
 // latency contribution) and the block buffer footprint.
+//
+// Sweep points are independent, so they fan out over a thread pool
+// (--jobs N, default 2). Each point writes its row into a preallocated
+// slot and the table is rendered serially afterwards, so the output is
+// bit-identical for any --jobs — the same determinism contract as
+// bench_fault_campaign.
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "sharing/analysis.hpp"
 #include "sharing/blocksize.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace acc;
   using namespace acc::sharing;
 
+  int jobs = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--jobs N]\n";
+      return 1;
+    }
+  }
+
   std::cout << "=== Ablation: reconfiguration cost R_s vs blocks, round and buffers ===\n\n";
 
-  Table t({"R_s (cycles)", "eta_start", "eta_end", "round gamma (cycles)",
-           "round (ms @100MHz)", "min block memory (samples)"});
-  for (const Time r : {0L, 100L, 1000L, 4100L, 20000L, 100000L, 428640L}) {
+  const std::vector<Time> sweep = {0L,      100L,    1000L,  4100L,
+                                   20000L, 100000L, 428640L};
+  std::vector<std::vector<std::string>> rows(sweep.size());
+  auto run_point = [&](std::size_t i) {
+    const Time r = sweep[i];
     SharedSystemSpec sys;
     sys.chain.accel_cycles_per_sample = {1, 1};
     sys.chain.entry_cycles_per_sample = 15;
@@ -32,17 +54,30 @@ int main() {
                    {"s3", Rational(3528, 1000000), r}};
     const BlockSizeResult b = solve_block_sizes_fixpoint(sys);
     if (!b.feasible) {
-      t.add_row({fmt_int(r), "-", "-", "-", "-", "infeasible"});
-      continue;
+      rows[i] = {fmt_int(r), "-", "-", "-", "-", "infeasible"};
+      return;
     }
     // Every stream needs at least one block of input and one of output
     // buffering (admission checks whole blocks): 2 * sum(eta) samples.
     const std::int64_t mem = 2 * b.total_eta;
-    t.add_row({fmt_int(r), fmt_int(b.eta[0]), fmt_int(b.eta[2]),
-               fmt_int(b.gamma),
+    rows[i] = {fmt_int(r),     fmt_int(b.eta[0]),
+               fmt_int(b.eta[2]), fmt_int(b.gamma),
                fmt_double(static_cast<double>(b.gamma) / 100000.0, 2),
-               fmt_int(mem)});
+               fmt_int(mem)};
+  };
+
+  if (jobs > 1) {
+    ThreadPool pool(static_cast<std::size_t>(jobs));
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+      pool.submit([&run_point, i](std::size_t) { run_point(i); });
+    pool.wait_idle();
+  } else {
+    for (std::size_t i = 0; i < sweep.size(); ++i) run_point(i);
   }
+
+  Table t({"R_s (cycles)", "eta_start", "eta_end", "round gamma (cycles)",
+           "round (ms @100MHz)", "min block memory (samples)"});
+  for (const auto& row : rows) t.add_row(row);
   std::cout << t.render();
 
   std::cout

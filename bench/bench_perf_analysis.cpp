@@ -129,10 +129,10 @@ void BM_CsdfModelExecution(benchmark::State& state) {
 BENCHMARK(BM_CsdfModelExecution)->Arg(64)->Arg(1024);
 
 /// Simulator speed: cycles/second on a ring + gateway + accelerator system.
-/// Arg(0) = event-horizon stepper (System::run), Arg(1) = legacy dense loop
-/// (System::run_dense) — the pair shows the quiescent-skip win in isolation.
+/// Arg = sim::StepperKind (0 dense, 1 global-horizon, 2 wake-list) — the
+/// trio shows the quiescent-skip and selective-ticking wins in isolation.
 void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
-  const bool dense = state.range(0) != 0;
+  const auto kind = static_cast<sim::StepperKind>(state.range(0));
   for (auto _ : state) {
     state.PauseTiming();
     sim::System sys(4);
@@ -166,10 +166,7 @@ void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
     std::vector<sim::Flit> payload(4096, 7);
     sys.add<sim::SourceTile>("src", in, payload, 4);
     state.ResumeTiming();
-    if (dense)
-      sys.run_dense(50000);
-    else
-      sys.run(50000);
+    sys.run_with(kind, 50000);
     benchmark::DoNotOptimize(sys.now());
   }
   state.SetItemsProcessed(state.iterations() * 50000);  // cycles/sec
@@ -177,7 +174,8 @@ void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
 BENCHMARK(BM_SimulatorCyclesPerSecond)
     ->Arg(0)
     ->Arg(1)
-    ->ArgName("dense");
+    ->Arg(2)
+    ->ArgName("stepper");
 
 /// Machine-readable perf trajectory of the DSE engine: BENCH_dse.json with
 /// wall time, simulation count, cache hit rate and pruning wins for jobs=1
@@ -217,16 +215,33 @@ void emit_dse_json(int jobs, const std::string& path) {
 /// Machine-readable perf trajectory of the SIMULATOR: BENCH_sim.json with
 /// cycles/second of the dense and event-horizon steppers on the full PAL
 /// decoder, plus the outcome digest proving they agreed. Returns false on a
-/// schema violation or a dense/event divergence — the `sim_perf` ctest
-/// entry (label "perf") fails on that, never on the speedup itself, so CI
-/// stays free of machine-load flake while still pinning correctness.
+/// schema violation, a dense/event divergence, a checksum mismatch or an
+/// event run that failed to tick fewer cycles than dense — the `sim_perf`
+/// ctest entry (label "perf") fails on those, never on the speedup itself,
+/// so CI stays free of machine-load flake while still pinning correctness.
 bool emit_sim_json(bool fast, const std::string& path) {
   const app::PalSimConfig pal = app::sim_bench_pal_config(fast);
-  const app::SimBenchRun dense = app::sim_bench_run(pal, /*dense=*/true);
-  const app::SimBenchRun event = app::sim_bench_run(pal, /*dense=*/false);
+  const app::SimBenchRun dense =
+      app::sim_bench_run(pal, sim::StepperKind::kDense);
+  const app::SimBenchRun event =
+      app::sim_bench_run(pal, sim::StepperKind::kWakeList);
   const json::Value doc = app::sim_bench_doc(pal, dense, event);
 
-  const std::vector<std::string> problems = validate_bench_sim(doc);
+  std::vector<std::string> problems = validate_bench_sim(doc);
+  // Semantic gates beyond the schema: the event stepper must actually skip
+  // (strictly fewer ticked cycles than dense) and the audio must be
+  // bit-identical — both machine-load independent, so safe to fail CI on.
+  if (event.dense_ticks >= dense.dense_ticks) {
+    problems.push_back("event stepper ticked " +
+                       std::to_string(event.dense_ticks) +
+                       " cycles, expected fewer than dense's " +
+                       std::to_string(dense.dense_ticks));
+  }
+  if (event.audio_checksum != dense.audio_checksum) {
+    problems.push_back("audio checksum mismatch: dense " +
+                       std::to_string(dense.audio_checksum) + " vs event " +
+                       std::to_string(event.audio_checksum));
+  }
   if (!problems.empty()) {
     std::cout << "ERROR: BENCH_sim.json violates its schema:\n";
     for (const std::string& p : problems) std::cout << "  " << p << "\n";
@@ -245,7 +260,10 @@ bool emit_sim_json(bool fast, const std::string& path) {
               << r.at("cycles_per_sec").as_double() << " cycles/s ("
               << r.at("dense_ticks").as_int() << " dense ticks, "
               << r.at("skipped_cycles").as_int() << " cycles skipped in "
-              << r.at("skips").as_int() << " jumps)\n";
+              << r.at("skips").as_int() << " jumps, "
+              << r.at("component_ticks").as_int() << " component ticks, "
+              << r.at("horizon_queries").as_int() << " horizon queries, "
+              << r.at("wakes").as_int() << " wakes)\n";
   }
   std::cout << "  event/dense speedup: " << doc.at("speedup").as_double()
             << ", outcome "

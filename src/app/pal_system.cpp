@@ -119,7 +119,7 @@ lint::LintInput make_lint_input(const PalSimConfig& cfg) {
   if (cfg.fault != nullptr) in.faults = lint::faults_from_injector(*cfg.fault);
 
   lint::DeterminismDecl det;
-  det.event_stepper = !cfg.dense_stepper;
+  det.event_stepper = cfg.stepper != sim::StepperKind::kDense;
   det.rng_seeded = true;  // the broadcast synthesis is closed-form, no RNG
   in.determinism = det;
   return in;
@@ -282,6 +282,9 @@ PalSimResult run_pal_decoder(const PalSimConfig& cfg) {
                      out_l.when_space_visible(1, now),
                      out_r.when_space_visible(1, now)});
   };
+  // Wake-list contract: the hint reads the audio fills and the DAC spaces.
+  recon.wake_on_push = {&audio1, &audio2};
+  recon.wake_on_pop = {&out_l, &out_r};
   cpu.add_task(std::move(recon));
 
   // DACs: hard real-time consumers at the audio rate. Audio arrives in
@@ -299,17 +302,9 @@ PalSimResult run_pal_decoder(const PalSimConfig& cfg) {
   // front-end stops are just the end of the broadcast. ----
   const sim::Cycle feed =
       static_cast<sim::Cycle>(cfg.input_samples) * cfg.input_period;
-  if (cfg.dense_stepper) {
-    sys.run_dense(feed);
-  } else {
-    sys.run(feed);
-  }
+  sys.run_with(cfg.stepper, feed);
   const std::int64_t feed_underruns = dac_l.underruns() + dac_r.underruns();
-  if (cfg.dense_stepper) {
-    sys.run_dense(8 * res.gamma);
-  } else {
-    sys.run(8 * res.gamma);
-  }
+  sys.run_with(cfg.stepper, 8 * res.gamma);
   res.cycles_run = sys.now();
   res.stepper = sys.stepper_stats();
 
@@ -457,6 +452,8 @@ PalSimResult run_pal_decoder_dedicated(const PalSimConfig& cfg) {
                      out_l.when_space_visible(1, now),
                      out_r.when_space_visible(1, now)});
   };
+  recon.wake_on_push = {&audio1, &audio2};
+  recon.wake_on_pop = {&out_l, &out_r};
   cpu.add_task(std::move(recon));
 
   const sim::Cycle audio_period =
@@ -468,17 +465,9 @@ PalSimResult run_pal_decoder_dedicated(const PalSimConfig& cfg) {
 
   const sim::Cycle feed =
       static_cast<sim::Cycle>(cfg.input_samples) * cfg.input_period;
-  if (cfg.dense_stepper) {
-    sys.run_dense(feed);
-  } else {
-    sys.run(feed);
-  }
+  sys.run_with(cfg.stepper, feed);
   const std::int64_t feed_underruns = dac_l.underruns() + dac_r.underruns();
-  if (cfg.dense_stepper) {
-    sys.run_dense(64 * eta2 * cfg.input_period);
-  } else {
-    sys.run(64 * eta2 * cfg.input_period);
-  }
+  sys.run_with(cfg.stepper, 64 * eta2 * cfg.input_period);
   res.cycles_run = sys.now();
   res.stepper = sys.stepper_stats();
 

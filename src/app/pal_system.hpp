@@ -70,10 +70,11 @@ struct PalSimConfig {
   int notify_max_retries = 8;
   sim::Cycle notify_backoff = 0;
 
-  /// Step with the legacy dense loop (System::run_dense) instead of the
-  /// event-horizon stepper. Cycle-exact either way — this switch exists for
+  /// Stepper selection: kWakeList (default, incremental wake-list
+  /// scheduler), kGlobalHorizon (all-or-nothing skip) or kDense (legacy
+  /// per-cycle loop). Cycle-exact all three — this switch exists for
   /// equivalence tests and the E9 dense-vs-event benchmark.
-  bool dense_stepper = false;
+  sim::StepperKind stepper = sim::StepperKind::kWakeList;
 
   /// Run acc-lint over the assembled configuration (resolved block sizes,
   /// C-FIFO capacities, gateway wiring, fault config) before simulating;

@@ -43,6 +43,9 @@ json::Object run_to_json(const SimBenchRun& r) {
   o["dense_ticks"] = r.dense_ticks;
   o["skips"] = r.skips;
   o["skipped_cycles"] = r.skipped_cycles;
+  o["component_ticks"] = r.component_ticks;
+  o["horizon_queries"] = r.horizon_queries;
+  o["wakes"] = r.wakes;
   o["sink_samples"] = r.sink_samples;
   o["source_drops"] = r.source_drops;
   o["sink_underruns"] = r.sink_underruns;
@@ -64,16 +67,16 @@ PalSimConfig sim_bench_pal_config(bool fast) {
   return cfg;
 }
 
-SimBenchRun sim_bench_run(const PalSimConfig& pal, bool dense) {
+SimBenchRun sim_bench_run(const PalSimConfig& pal, sim::StepperKind kind) {
   PalSimConfig cfg = pal;
-  cfg.dense_stepper = dense;
+  cfg.stepper = kind;
 
   const auto t0 = std::chrono::steady_clock::now();
   const PalSimResult res = run_pal_decoder(cfg);
   const auto t1 = std::chrono::steady_clock::now();
 
   SimBenchRun r;
-  r.mode = dense ? "dense" : "event";
+  r.mode = kind == sim::StepperKind::kDense ? "dense" : "event";
   r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   r.cycles = res.cycles_run;
   r.cycles_per_sec =
@@ -82,6 +85,9 @@ SimBenchRun sim_bench_run(const PalSimConfig& pal, bool dense) {
   r.dense_ticks = res.stepper.dense_ticks;
   r.skips = res.stepper.skips;
   r.skipped_cycles = res.stepper.skipped_cycles;
+  r.component_ticks = res.stepper.component_ticks;
+  r.horizon_queries = res.stepper.horizon_queries;
+  r.wakes = res.stepper.wakes;
   r.sink_samples = static_cast<std::int64_t>(res.left.size() +
                                              res.right.size());
   r.source_drops = res.source_drops;

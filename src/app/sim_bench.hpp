@@ -35,6 +35,11 @@ struct SimBenchRun {
   std::int64_t dense_ticks = 0;  // cycles actually ticked
   std::int64_t skips = 0;
   std::int64_t skipped_cycles = 0;
+  // Wake-list instrumentation (all steppers fill these; the dense loop has
+  // zero horizon queries and zero wakes by construction).
+  std::int64_t component_ticks = 0;   // Component::tick calls
+  std::int64_t horizon_queries = 0;   // next_event consultations
+  std::int64_t wakes = 0;             // wake notifications delivered
   // Outcome digest.
   std::int64_t sink_samples = 0;
   std::int64_t source_drops = 0;
@@ -50,8 +55,12 @@ struct SimBenchRun {
   }
 };
 
-/// Run the decoder once under the chosen stepper and measure it.
-[[nodiscard]] SimBenchRun sim_bench_run(const PalSimConfig& pal, bool dense);
+/// Run the decoder once under the chosen stepper and measure it. The run's
+/// `mode` string is "dense" for kDense and "event" otherwise (both event
+/// steppers fill the same BENCH_sim.json slot; the wake-list is the
+/// shipping default).
+[[nodiscard]] SimBenchRun sim_bench_run(const PalSimConfig& pal,
+                                        sim::StepperKind kind);
 
 /// Assemble the BENCH_sim.json document:
 /// {bench: "sim", workload: {...}, runs: [dense, event], speedup,

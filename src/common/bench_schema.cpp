@@ -184,6 +184,9 @@ std::vector<std::string> validate_bench_sim(const json::Value& doc) {
                    {"dense_ticks", Kind::kInt},
                    {"skips", Kind::kInt},
                    {"skipped_cycles", Kind::kInt},
+                   {"component_ticks", Kind::kInt},
+                   {"horizon_queries", Kind::kInt},
+                   {"wakes", Kind::kInt},
                    {"sink_samples", Kind::kInt},
                    {"source_drops", Kind::kInt},
                    {"sink_underruns", Kind::kInt},

@@ -20,14 +20,18 @@ void AcceleratorTile::register_context(StreamId id,
   ACC_EXPECTS_MSG(contexts_.find(id) == contexts_.end(),
                   "duplicate context for stream");
   contexts_[id] = std::move(k);
-  if (active_ < 0) active_ = id;
+  if (active_ < 0) {
+    active_ = id;
+    active_kernel_ = contexts_[id].get();
+  }
 }
 
-void AcceleratorTile::swap_context(StreamId id) {
+void AcceleratorTile::swap_context(StreamId id, Cycle now) {
   ACC_EXPECTS_MSG(contexts_.count(id) == 1, "unknown stream context");
   ACC_EXPECTS_MSG(drained(), "context switch on a non-drained accelerator");
   active_ = id;
-  if (trace_ != nullptr) trace_->record(last_now_, name_, "ctx.switch", id);
+  active_kernel_ = contexts_.at(id).get();
+  if (trace_ != nullptr) trace_->record(now, name_, "ctx.switch", id);
 }
 
 std::size_t AcceleratorTile::context_words() const {
@@ -58,7 +62,6 @@ void AcceleratorTile::drain_network(Cycle) {
 }
 
 void AcceleratorTile::tick(Cycle now) {
-  last_now_ = now;
   drain_network(now);
 
   // Return credits owed to the upstream producer (retry on ring pressure).
@@ -86,7 +89,7 @@ void AcceleratorTile::tick(Cycle now) {
     const Flit f = input_.front();
     input_.pop_front();
     ++pending_credit_returns_;  // slot freed: credit goes back upstream
-    contexts_.at(active_)->push(unpack_sample(f), scratch_out_);
+    active_kernel_->push(unpack_sample(f), scratch_out_);
     core_busy_ = true;
     core_done_at_ = now + cycles_per_sample_;
   }
@@ -121,10 +124,6 @@ Cycle AcceleratorTile::next_event(Cycle now) const {
 
 void AcceleratorTile::skip_to(Cycle from, Cycle to) {
   if (core_busy_) busy_cycles_ += to - from;
-  // swap_context (called by the entry-gateway, which ticks densely at the
-  // post-skip cycle) timestamps its trace event with the accelerator's last
-  // ticked cycle; replay it so traces match the dense run exactly.
-  last_now_ = to - 1;
 }
 
 }  // namespace acc::sim

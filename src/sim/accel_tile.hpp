@@ -37,10 +37,12 @@ class AcceleratorTile final : public Component {
   /// multiplexed stream.
   void register_context(StreamId id, std::unique_ptr<accel::StreamKernel> k);
 
-  /// Gateway-side context switch: requires the pipeline to be drained.
-  /// Instantaneous here — the R_s switching time is charged by the gateway,
-  /// which stalls the whole chain while the configuration bus runs.
-  void swap_context(StreamId id);
+  /// Gateway-side context switch at cycle `now`: requires the pipeline to
+  /// be drained. Instantaneous here — the R_s switching time is charged by
+  /// the gateway, which stalls the whole chain while the configuration bus
+  /// runs (the caller's clock also timestamps the trace event, so a tile
+  /// frozen by the wake-list stepper needs no resynchronization to switch).
+  void swap_context(StreamId id, Cycle now);
 
   /// Expected upstream producer (for credit returns).
   void set_upstream(std::int32_t node, std::uint32_t tag);
@@ -53,9 +55,11 @@ class AcceleratorTile final : public Component {
   /// Event horizon: core completion, a startable sample, or pending
   /// forwards/credit returns that must retry against ring backpressure.
   [[nodiscard]] Cycle next_event(Cycle now) const override;
-  /// Replays the per-cycle busy accounting and the last-tick timestamp
-  /// (used by swap_context's trace event) over a skipped quiescent range.
+  /// Replays the per-cycle busy accounting over a skipped quiescent range.
   void skip_to(Cycle from, Cycle to) override;
+  /// Data and credits for this tile arrive at its ring node; the wake-list
+  /// scheduler routes deliveries there back to us.
+  [[nodiscard]] std::int32_t ring_node() const override { return node_; }
 
   void set_trace(TraceLog* trace) { trace_ = trace; }
 
@@ -87,6 +91,7 @@ class AcceleratorTile final : public Component {
 
   std::map<StreamId, std::unique_ptr<accel::StreamKernel>> contexts_;
   StreamId active_ = -1;
+  accel::StreamKernel* active_kernel_ = nullptr;  // contexts_[active_]
 
   std::deque<Flit> input_;
   std::vector<RingMsg> rx_;  // reusable drain buffer (hot path, no allocs)
@@ -99,7 +104,6 @@ class AcceleratorTile final : public Component {
   std::int64_t processed_ = 0;
   std::int64_t busy_cycles_ = 0;
   TraceLog* trace_ = nullptr;
-  Cycle last_now_ = 0;
 };
 
 }  // namespace acc::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/component.hpp"
 #include "sim/fault.hpp"
 
 namespace acc::sim {
@@ -31,7 +32,19 @@ std::int64_t CFifo::space_visible(Cycle now) const {
   return capacity_ - outstanding;
 }
 
-bool CFifo::can_push(Cycle now) const { return space_visible(now) > 0; }
+bool CFifo::can_push(Cycle now) const {
+  // Equivalent to space_visible(now) > 0 without counting the whole visible
+  // prefix: space exists iff at least data + freed - capacity + 1 of the
+  // pending credit returns are visible, and deadlines are monotone, so one
+  // indexed compare answers it (push/pop guards sit on every tick).
+  last_now_ = std::max(last_now_, now);
+  const std::int64_t tight = static_cast<std::int64_t>(data_.size()) +
+                             static_cast<std::int64_t>(freed_.size()) -
+                             capacity_;
+  if (tight < 0) return true;
+  if (tight >= static_cast<std::int64_t>(freed_.size())) return false;
+  return freed_[static_cast<std::size_t>(tight)] <= now;
+}
 
 void CFifo::push(Cycle now, Flit f) {
   ACC_EXPECTS_MSG(can_push(now), "CFifo '" + name_ + "' push without space");
@@ -47,6 +60,7 @@ void CFifo::push(Cycle now, Flit f) {
   data_.emplace_back(visible_at, f);
   ++pushed_;
   peak_ = std::max(peak_, static_cast<std::int64_t>(data_.size()));
+  for (Component* w : push_watchers_) w->request_wake();
 }
 
 std::int64_t CFifo::fill_visible(Cycle now) const {
@@ -95,7 +109,22 @@ Flit CFifo::pop(Cycle now) {
   if (!freed_.empty()) freed_at = std::max(freed_at, freed_.back());
   freed_.push_back(freed_at);
   ++popped_;
+  for (Component* w : pop_watchers_) w->request_wake();
   return f;
+}
+
+void CFifo::add_push_watcher(Component* c) {
+  ACC_EXPECTS(c != nullptr);
+  if (std::find(push_watchers_.begin(), push_watchers_.end(), c) ==
+      push_watchers_.end())
+    push_watchers_.push_back(c);
+}
+
+void CFifo::add_pop_watcher(Component* c) {
+  ACC_EXPECTS(c != nullptr);
+  if (std::find(pop_watchers_.begin(), pop_watchers_.end(), c) ==
+      pop_watchers_.end())
+    pop_watchers_.push_back(c);
 }
 
 }  // namespace acc::sim

@@ -15,12 +15,15 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
 #include "sim/flit.hpp"
 #include "sim/ring.hpp"
 
 namespace acc::sim {
+
+class Component;
 
 class CFifo {
  public:
@@ -45,7 +48,11 @@ class CFifo {
   /// deadlines push/pop maintain.
   [[nodiscard]] Cycle when_fill_visible(std::int64_t n, Cycle now) const;
   [[nodiscard]] Cycle when_space_visible(std::int64_t n, Cycle now) const;
-  [[nodiscard]] bool can_pop(Cycle now) const { return fill_visible(now) > 0; }
+  /// Equivalent to fill_visible(now) > 0: arrival deadlines are monotone,
+  /// so only the head's deadline matters (O(1) — this guards every pop).
+  [[nodiscard]] bool can_pop(Cycle now) const {
+    return !data_.empty() && data_.front().first <= now;
+  }
   [[nodiscard]] Flit front(Cycle now) const;
   Flit pop(Cycle now);
 
@@ -68,6 +75,16 @@ class CFifo {
   /// side just sees the update later (still conservative, still safe).
   void set_fault(FaultInjector* injector) { fault_ = injector; }
 
+  /// Wake-list plumbing (see sim/wake.hpp): a component whose event
+  /// horizon depends on this FIFO's fill (a consumer waiting for data)
+  /// registers as a push watcher; one whose horizon depends on freed space
+  /// (a producer waiting for credits) registers as a pop watcher. Every
+  /// push/pop then requests a wake for the registered components — a no-op
+  /// until the wake-list scheduler installs its hub on them. Duplicate
+  /// registrations are coalesced.
+  void add_push_watcher(Component* c);
+  void add_pop_watcher(Component* c);
+
  private:
   std::string name_;
   std::int64_t capacity_;
@@ -77,6 +94,8 @@ class CFifo {
   std::deque<std::pair<Cycle, Flit>> data_;  // (visible-to-reader-at, flit)
   std::deque<Cycle> freed_;                  // space visible-to-writer-at
   FaultInjector* fault_ = nullptr;
+  std::vector<Component*> push_watchers_;
+  std::vector<Component*> pop_watchers_;
   std::int64_t pushed_ = 0;
   std::int64_t popped_ = 0;
   std::int64_t peak_ = 0;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "sim/ring.hpp"
+#include "sim/wake.hpp"
 
 namespace acc::sim {
 
@@ -24,12 +25,51 @@ class Component {
   /// Jump from cycle `from` to cycle `to` (from < to) without ticking the
   /// range in between. Overriders must replay, exactly, whatever per-cycle
   /// accounting their tick would have performed over a quiescent range
-  /// (wait/busy/stall counters, replenishment grids). Only called when
-  /// every component's next_event() certified the range as quiescent.
+  /// (wait/busy/stall counters, replenishment grids). Only called for a
+  /// range this component's own next_event() certified as quiescent — under
+  /// the wake-list stepper other components MAY have acted inside the
+  /// range, but never in a way this component could observe (any observable
+  /// interaction routes a wake through WakeHub first).
   virtual void skip_to(Cycle from, Cycle to) {
     (void)from;
     (void)to;
   }
+
+  /// Wake-list contract (System::run): true when every input this
+  /// component's next_event() depends on is covered by a wake notification
+  /// (C-FIFO watcher, ring delivery, direct callback), so a cached horizon
+  /// can never go stale-late. Components that cannot promise that return
+  /// false and are re-queried every active cycle instead (exact, slower —
+  /// the global-horizon treatment).
+  [[nodiscard]] virtual bool wake_list_safe() const { return true; }
+
+  /// Ring node this component drains (data and/or credit), or -1 when it
+  /// has no network interface. The wake-list scheduler uses it to route
+  /// Ring ejections back to the tile that must pick them up.
+  [[nodiscard]] virtual std::int32_t ring_node() const { return -1; }
+
+  /// Installed by System::run's wake-list preparation; null under the
+  /// dense / global-horizon steppers and in standalone unit tests. The
+  /// slot index keys this component's calendar entry so wake delivery is a
+  /// direct array access instead of a map lookup.
+  void set_wake_hub(WakeHub* hub, std::size_t slot = 0) {
+    hub_ = hub;
+    wake_slot_ = slot;
+  }
+  [[nodiscard]] std::size_t wake_slot() const { return wake_slot_; }
+
+  /// Notify the scheduler that this component may need to act earlier than
+  /// its cached horizon (no-op without a hub). Called by C-FIFOs on behalf
+  /// of registered watchers and by components delivering direct callbacks.
+  void request_wake() {
+    if (hub_ != nullptr) hub_->wake(*this);
+  }
+
+ protected:
+  WakeHub* hub_ = nullptr;
+
+ private:
+  std::size_t wake_slot_ = 0;
 };
 
 }  // namespace acc::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/wake.hpp"
+
 namespace acc::sim {
 
 const char* fault_site_name(FaultSite site) {
@@ -53,6 +55,7 @@ Cycle FaultInjector::delay(FaultSite site, Cycle now) {
   ++s.stats.injected;
   s.stats.delay_cycles += d;
   s.stats.max_delay_seen = std::max(s.stats.max_delay_seen, d);
+  if (hub_ != nullptr) hub_->fault_site_changed(site);
   return d;
 }
 

@@ -34,6 +34,8 @@
 
 namespace acc::sim {
 
+class WakeHub;
+
 enum class FaultSite : int {
   kRingLink = 0,
   kConfigBus = 1,
@@ -117,6 +119,12 @@ class FaultInjector {
   [[nodiscard]] Cycle worst_case_block_delay(Cycle nominal_service,
                                              std::int64_t samples) const;
 
+  /// Wake-list plumbing (see sim/wake.hpp): every delay() trigger moves
+  /// the site's quiet window, which shifts horizons derived from
+  /// next_eligible — report it so cached horizons get re-derived. Null
+  /// (the default) under the dense / global-horizon steppers.
+  void set_wake_hub(WakeHub* hub) { hub_ = hub; }
+
  private:
   struct SiteState {
     FaultSpec spec;
@@ -129,6 +137,7 @@ class FaultInjector {
 
   std::uint64_t seed_;
   std::array<SiteState, kNumFaultSites> sites_;
+  WakeHub* hub_ = nullptr;
 };
 
 }  // namespace acc::sim

@@ -33,6 +33,10 @@ void EntryGateway::add_stream(const StreamRoute& route) {
                   "output C-FIFO cannot hold one block of output");
   streams_.push_back(route);
   completions_.emplace_back();
+  // Admission (and mid-block streaming) horizons hang off these FIFOs'
+  // visibility deadlines: a producer push or consumer pop must wake us.
+  route.input->add_push_watcher(this);
+  route.output->add_pop_watcher(this);
 }
 
 const std::vector<Cycle>& EntryGateway::block_completions(StreamId id) const {
@@ -51,7 +55,12 @@ void EntryGateway::record_block_completion(StreamId id, Cycle when) {
   throw precondition_error("unknown stream id");
 }
 
-void EntryGateway::on_pipeline_idle() { pipeline_idle_ = true; }
+void EntryGateway::on_pipeline_idle() {
+  pipeline_idle_ = true;
+  // The kIdle/kDraining horizons park on kNeverCycle while waiting for
+  // this notification; reschedule ourselves.
+  request_wake();
+}
 
 void EntryGateway::set_retry_policy(const GatewayRetryPolicy& policy) {
   ACC_EXPECTS(policy.notify_timeout >= 0 && policy.backoff >= 0);
@@ -89,8 +98,10 @@ void EntryGateway::note_credit_stall(Cycle now) {
 void EntryGateway::note_credit_resume(Cycle) { credit_stall_since_ = -1; }
 
 bool EntryGateway::admissible(const StreamRoute& r, Cycle now) const {
-  return r.input->fill_visible(now) >= r.eta &&
-         r.output->space_visible(now) >= r.out_per_block;
+  // when_*_visible(n, now) <= now is the O(1) form of fill/space >= n (the
+  // deadlines are monotone, so only the n-th entry's deadline matters).
+  return r.input->when_fill_visible(r.eta, now) <= now &&
+         r.output->when_space_visible(r.out_per_block, now) <= now;
 }
 
 void EntryGateway::tick(Cycle now) {
@@ -156,7 +167,7 @@ void EntryGateway::tick(Cycle now) {
       }
       // Bus transfer done: swap every accelerator to the new stream.
       const StreamRoute& r = streams_[active_];
-      for (AcceleratorTile* a : chain_) a->swap_context(r.id);
+      for (AcceleratorTile* a : chain_) a->swap_context(r.id, now);
       loaded_context_ = r.id;
       if (trace_ != nullptr) trace_->record(now, name_, "reconfig.done", r.id);
       state_ = State::kStreaming;
@@ -193,7 +204,7 @@ void EntryGateway::tick(Cycle now) {
       if (!sample_in_flight_ && remaining_ > 0) {
         // Admission guaranteed a full block, but the C-FIFO's read view may
         // trail by the network lag; wait for visibility.
-        if (r.input->fill_visible(now) == 0) {
+        if (!r.input->can_pop(now)) {
           ++stats_.wait_cycles;
           return;
         }

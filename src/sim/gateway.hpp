@@ -108,6 +108,8 @@ class EntryGateway final : public Component {
   /// Replays the per-cycle wait/reconfig/data/credit-stall accounting the
   /// dense loop would have performed over a quiescent range.
   void skip_to(Cycle from, Cycle to) override;
+  /// Returned credits arrive over the credit ring at this node.
+  [[nodiscard]] std::int32_t ring_node() const override { return node_; }
 
   /// Opt-in event tracing (admissions, reconfigurations, completions).
   void set_trace(TraceLog* trace) { trace_ = trace; }
@@ -199,6 +201,8 @@ class ExitGateway final : public Component {
   /// completion, or retries of a backed-up credit return. The exit-gateway
   /// keeps no per-cycle counters, so the default (no-op) skip_to is exact.
   [[nodiscard]] Cycle next_event(Cycle now) const override;
+  /// The chain's output flits arrive over the data ring at this node.
+  [[nodiscard]] std::int32_t ring_node() const override { return node_; }
 
   /// Entry-gateway recovery poll: if the active block has fully left the
   /// pipeline but its notification is still pending or was lost, deliver

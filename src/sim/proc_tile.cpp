@@ -17,7 +17,21 @@ void ProcessorTile::add_task(Task t) {
   ACC_EXPECTS(t.budget >= 1);
   budget_left_.push_back(t.budget);
   invocations_.push_back(0);
+  // Wake-list contract: the hint's C-FIFO dependencies wake this tile.
+  for (CFifo* f : t.wake_on_push) f->add_push_watcher(this);
+  for (CFifo* f : t.wake_on_pop) f->add_pop_watcher(this);
   tasks_.push_back(std::move(t));
+}
+
+bool ProcessorTile::wake_list_safe() const {
+  // A hinted task with no declared wake FIFOs can have its hint
+  // invalidated by a push/pop nobody reports; hint-less tasks are safe
+  // (next_event pins them to the next cycle anyway).
+  for (const Task& t : tasks_) {
+    if (t.next_ready && t.wake_on_push.empty() && t.wake_on_pop.empty())
+      return false;
+  }
+  return true;
 }
 
 std::int64_t ProcessorTile::invocations(std::size_t task) const {
@@ -148,11 +162,14 @@ SinkTile::SinkTile(std::string name, CFifo& in, Cycle period,
     : name_(std::move(name)), in_(in), period_(period), prefill_(prefill) {
   ACC_EXPECTS(period >= 1);
   ACC_EXPECTS(prefill >= 1);
+  // Pre-start the horizon is the prefill visibility deadline: each push
+  // must wake us. After start the DAC grid self-schedules.
+  in_.add_push_watcher(this);
 }
 
 void SinkTile::tick(Cycle now) {
   if (!started_) {
-    if (in_.fill_visible(now) >= prefill_) {
+    if (in_.when_fill_visible(prefill_, now) <= now) {
       started_ = true;
       next_due_ = now;
     } else {

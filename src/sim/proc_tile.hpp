@@ -45,6 +45,14 @@ struct Task {
   /// must be side-effect free whenever it returns 0 — blocked attempts are
   /// elided, not replayed, while cycles are skipped.
   std::function<Cycle(Cycle now)> next_ready;
+  /// Wake-list contract companions to next_ready: EVERY C-FIFO whose fill
+  /// the hint reads goes in wake_on_push, every C-FIFO whose space it
+  /// reads goes in wake_on_pop (the tile registers as watcher on all of
+  /// them). A hinted task that lists neither marks the tile wake-unsafe,
+  /// and the scheduler falls back to re-querying it every active cycle —
+  /// exact, but it forfeits selective ticking for this tile.
+  std::vector<CFifo*> wake_on_push;
+  std::vector<CFifo*> wake_on_pop;
 };
 
 /// Scheduling policy of the paper's budget scheduler (ref [18]): both
@@ -71,6 +79,9 @@ class ProcessorTile final : public Component {
   /// Replays the replenishment grid (refills keep their dense-mode phase)
   /// and the running task's busy accounting over a skipped range.
   void skip_to(Cycle from, Cycle to) override;
+  /// Safe for cached horizons only when every hinted task declares the
+  /// C-FIFOs its hint depends on (Task::wake_on_push / wake_on_pop).
+  [[nodiscard]] bool wake_list_safe() const override;
 
   [[nodiscard]] Cycle busy_cycles() const { return busy_cycles_; }
   [[nodiscard]] std::int64_t invocations(std::size_t task) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/fault.hpp"
+#include "sim/wake.hpp"
 
 namespace acc::sim {
 
@@ -21,6 +22,7 @@ bool Ring::try_inject(std::int32_t node, const RingMsg& msg) {
   if (q.size() >= kInjectQueueDepth) return false;
   q.push_back(msg);
   ++queued_;
+  if (hub_ != nullptr) hub_->ring_activity(*this);
   return true;
 }
 
@@ -71,9 +73,14 @@ void Ring::tick() {
   const auto n = static_cast<std::int32_t>(slots_.size());
   // Rotate slots one hop: the slot at node i moves to node i+1 (clockwise)
   // or i-1 (counter-clockwise). Rotation is a single offset update — the
-  // slot array itself never moves (no per-tick allocation or copy).
-  offset_ = clockwise_ ? (offset_ + slots_.size() - 1) % slots_.size()
-                       : (offset_ + 1) % slots_.size();
+  // slot array itself never moves (no per-tick allocation or copy). The
+  // offset stays in [0, n), maintained with wraps instead of modulo.
+  if (clockwise_) {
+    offset_ = offset_ == 0 ? slots_.size() - 1 : offset_ - 1;
+  } else {
+    ++offset_;
+    if (offset_ == slots_.size()) offset_ = 0;
+  }
 
   // At each node: eject a slot addressed to it, then fill a free slot from
   // the local injection queue.
@@ -85,6 +92,7 @@ void Ring::tick() {
       ++delivered_;
       --occupied_;
       ++pending_eject_;
+      if (hub_ != nullptr) hub_->ring_delivery(*this, i);
     }
     if (!s.occupied && !inject_[i].empty()) {
       s.msg = inject_[i].front();

@@ -28,6 +28,7 @@ inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 
 class FaultInjector;
 enum class FaultSite : int;
+class WakeHub;
 
 struct RingMsg {
   std::int32_t dst = -1;
@@ -66,6 +67,12 @@ class Ring {
   /// Opt-in fault injection: consult `injector` at `site` once per tick
   /// for a stall window (see sim/fault.hpp).
   void set_fault(FaultInjector* injector, FaultSite site);
+  [[nodiscard]] FaultInjector* fault() const { return fault_; }
+
+  /// Wake-list plumbing (see sim/wake.hpp): report injections and
+  /// ejections so the scheduler can wake the ring and the draining tiles.
+  /// Null (the default) under the dense / global-horizon steppers.
+  void set_wake_hub(WakeHub* hub) { hub_ = hub; }
 
   /// True when no slot is occupied, no injection queue holds a message and
   /// no ejected message awaits pickup — ticking an idle ring is a no-op.
@@ -88,6 +95,9 @@ class Ring {
   [[nodiscard]] std::int32_t nodes() const {
     return static_cast<std::int32_t>(slots_.size());
   }
+  /// Internal tick counter (the wake-list scheduler syncs a frozen ring
+  /// with skip_to before ticking it).
+  [[nodiscard]] Cycle cycle() const { return now_; }
   /// Total messages delivered (stats).
   [[nodiscard]] std::int64_t delivered() const { return delivered_; }
   /// Cycles lost to fault-injected stall windows.
@@ -102,9 +112,13 @@ class Ring {
   static constexpr std::size_t kInjectQueueDepth = 8;
 
   /// Physical slot currently sitting at `node` (rotation is an index
-  /// offset, not a copy of the slot array).
+  /// offset, not a copy of the slot array). offset_ < n and node < n, so a
+  /// conditional subtract replaces the modulo — tick() sits on the hot path
+  /// of every stepper and a div on a runtime divisor costs more than the
+  /// rest of the per-node work combined.
   [[nodiscard]] std::size_t slot_at(std::int32_t node) const {
-    return (static_cast<std::size_t>(node) + offset_) % slots_.size();
+    const std::size_t i = static_cast<std::size_t>(node) + offset_;
+    return i >= slots_.size() ? i - slots_.size() : i;
   }
 
   std::vector<Slot> slots_;
@@ -121,6 +135,7 @@ class Ring {
   FaultSite fault_site_{};
   Cycle stall_until_ = 0;
   Cycle stall_cycles_ = 0;
+  WakeHub* hub_ = nullptr;
 };
 
 /// The paper's dual ring: data one way, credits the other way.
@@ -148,6 +163,11 @@ class DualRing {
   void skip_to(Cycle target) {
     data_.skip_to(target);
     credit_.skip_to(target);
+  }
+
+  void set_wake_hub(WakeHub* hub) {
+    data_.set_wake_hub(hub);
+    credit_.set_wake_hub(hub);
   }
 
  private:

@@ -80,8 +80,10 @@ TEST(BenchSchema, DetectsEmptyRuns) {
 json::Value small_sim_doc() {
   app::PalSimConfig pal = app::sim_bench_pal_config(/*fast=*/true);
   pal.input_samples = 1 << 10;  // test-size, even smaller than --sim-fast
-  const app::SimBenchRun dense = app::sim_bench_run(pal, /*dense=*/true);
-  const app::SimBenchRun event = app::sim_bench_run(pal, /*dense=*/false);
+  const app::SimBenchRun dense =
+      app::sim_bench_run(pal, sim::StepperKind::kDense);
+  const app::SimBenchRun event =
+      app::sim_bench_run(pal, sim::StepperKind::kWakeList);
   return app::sim_bench_doc(pal, dense, event);
 }
 
@@ -96,6 +98,24 @@ TEST(BenchSchema, SimDocDetectsMissingRunKey) {
   const std::vector<std::string> problems = validate_bench_sim(doc);
   ASSERT_FALSE(problems.empty());
   EXPECT_NE(problems.front().find("skipped_cycles"), std::string::npos);
+}
+
+TEST(BenchSchema, SimDocDetectsMissingWakeCounters) {
+  // The wake-list instrumentation (ISSUE 6 satellite) is part of the golden
+  // schema: dropping any of the three counters is a breach.
+  for (const char* key : {"component_ticks", "horizon_queries", "wakes"}) {
+    json::Value doc = small_sim_doc();
+    doc.as_object()["runs"].as_array()[1].as_object().erase(key);
+    const std::vector<std::string> problems = validate_bench_sim(doc);
+    ASSERT_FALSE(problems.empty()) << key;
+    EXPECT_NE(problems.front().find(key), std::string::npos);
+  }
+}
+
+TEST(BenchSchema, SimDocDetectsWrongWakeCounterType) {
+  json::Value doc = small_sim_doc();
+  doc.as_object()["runs"].as_array()[1].as_object()["wakes"] = "lots";
+  EXPECT_FALSE(validate_bench_sim(doc).empty());
 }
 
 TEST(BenchSchema, SimDocDetectsWrongMode) {

@@ -1,5 +1,6 @@
-// Cycle-exact equivalence of the two steppers (ISSUE 3 tentpole proof):
-// System::run (event-horizon, skips certified-quiescent ranges) must be
+// Cycle-exact equivalence of the three steppers (ISSUE 3 + ISSUE 6 tentpole
+// proof): System::run (wake-list, selective ticking of woken components) and
+// System::run_global_horizon (all-or-nothing quiescent skip) must both be
 // indistinguishable from System::run_dense (the legacy every-cycle loop) in
 // EVERY externally visible respect — trace contents, final state, stats,
 // delivered data, and the deterministic fault pattern — on randomized
@@ -50,7 +51,7 @@ std::vector<std::unique_ptr<accel::StreamKernel>> passes(std::size_t n) {
   return v;
 }
 
-/// One randomized system shape. Both steppers get an independently built
+/// One randomized system shape. Every stepper gets an independently built
 /// but bit-identical instance.
 struct Params {
   int accels = 1;
@@ -63,6 +64,7 @@ struct Params {
   int payload_blocks = 3;
   bool with_proc = false;    // software copy task between chain and sink
   Cycle proc_cost = 3;
+  bool hint_wake_lists = false;  // declare the copy task's wake FIFOs
   bool with_fault = false;
   bool with_drops = false;   // notification drops (requires retry recovery)
   std::uint64_t fault_seed = 1;
@@ -84,6 +86,9 @@ Params random_params(std::mt19937_64& rng, bool with_fault) {
   p.payload_blocks = pick(2, 4);
   p.with_proc = pick(0, 1) == 1;
   p.proc_cost = pick(1, 4);
+  // Half the processor variants declare wake lists (selective ticking),
+  // half do not (exercises the wake-unsafe re-query fallback).
+  p.hint_wake_lists = pick(0, 1) == 1;
   p.with_fault = with_fault;
   p.with_drops = with_fault && pick(0, 1) == 1;
   p.fault_seed = rng();
@@ -163,6 +168,10 @@ struct Scenario {
         return std::max(m->when_fill_visible(1, now),
                         f->when_space_visible(1, now));
       };
+      if (p.hint_wake_lists) {
+        copy.wake_on_push = {m};
+        copy.wake_on_pop = {f};
+      }
       cpu.add_task(std::move(copy));
       proc = &cpu;
       sink_in = fin;
@@ -205,12 +214,9 @@ struct Digest {
   StepperStats stepper;
 };
 
-Digest run_scenario(const Params& p, bool dense) {
+Digest run_scenario(const Params& p, StepperKind kind) {
   Scenario s(p);
-  if (dense)
-    s.sys.run_dense(p.run_cycles);
-  else
-    s.sys.run(p.run_cycles);
+  s.sys.run_with(kind, p.run_cycles);
 
   Digest d;
   d.now = s.sys.now();
@@ -279,46 +285,70 @@ void expect_equivalent(const Digest& dense, const Digest& event) {
             event.now);
   EXPECT_EQ(dense.stepper.dense_ticks, dense.now);
   EXPECT_EQ(dense.stepper.skips, 0);
+  EXPECT_EQ(dense.stepper.wakes, 0);
+  EXPECT_EQ(dense.stepper.horizon_queries, 0);
 }
 
 TEST(EventHorizon, RandomChainsFaultFree) {
   std::mt19937_64 rng(0xACC0);  // fixed seed: the suite is reproducible
-  std::int64_t total_skipped = 0;
+  std::int64_t skipped_global = 0;
+  std::int64_t skipped_wake = 0;
+  std::int64_t wake_notifications = 0;
+  std::int64_t dense_component_ticks = 0;
+  std::int64_t wake_component_ticks = 0;
   for (int iter = 0; iter < 10; ++iter) {
     const Params p = random_params(rng, /*with_fault=*/false);
     SCOPED_TRACE("iteration " + std::to_string(iter));
-    const Digest dense = run_scenario(p, /*dense=*/true);
-    const Digest event = run_scenario(p, /*dense=*/false);
-    expect_equivalent(dense, event);
-    total_skipped += event.stepper.skipped_cycles;
+    const Digest dense = run_scenario(p, StepperKind::kDense);
+    const Digest global = run_scenario(p, StepperKind::kGlobalHorizon);
+    const Digest wake = run_scenario(p, StepperKind::kWakeList);
+    expect_equivalent(dense, global);
+    expect_equivalent(dense, wake);
+    skipped_global += global.stepper.skipped_cycles;
+    skipped_wake += wake.stepper.skipped_cycles;
+    wake_notifications += wake.stepper.wakes;
+    dense_component_ticks += dense.stepper.component_ticks;
+    wake_component_ticks += wake.stepper.component_ticks;
   }
-  // The machinery must actually engage — a stepper that never skips would
-  // pass every equivalence check vacuously.
-  EXPECT_GT(total_skipped, 0);
+  // The machinery must actually engage — a stepper that never skips (or a
+  // wake list that never fires, or that ticks everything anyway) would pass
+  // every equivalence check vacuously.
+  EXPECT_GT(skipped_global, 0);
+  EXPECT_GT(skipped_wake, 0);
+  EXPECT_GT(wake_notifications, 0);
+  EXPECT_LT(wake_component_ticks, dense_component_ticks);
 }
 
 TEST(EventHorizon, RandomChainsWithFaults) {
   std::mt19937_64 rng(0xACC1);
-  std::int64_t total_skipped = 0;
+  std::int64_t skipped_global = 0;
+  std::int64_t skipped_wake = 0;
   for (int iter = 0; iter < 8; ++iter) {
     const Params p = random_params(rng, /*with_fault=*/true);
     SCOPED_TRACE("iteration " + std::to_string(iter));
-    const Digest dense = run_scenario(p, /*dense=*/true);
-    const Digest event = run_scenario(p, /*dense=*/false);
-    expect_equivalent(dense, event);
-    total_skipped += event.stepper.skipped_cycles;
+    const Digest dense = run_scenario(p, StepperKind::kDense);
+    const Digest global = run_scenario(p, StepperKind::kGlobalHorizon);
+    const Digest wake = run_scenario(p, StepperKind::kWakeList);
+    expect_equivalent(dense, global);
+    expect_equivalent(dense, wake);
+    skipped_global += global.stepper.skipped_cycles;
+    skipped_wake += wake.stepper.skipped_cycles;
   }
-  EXPECT_GT(total_skipped, 0);
+  EXPECT_GT(skipped_global, 0);
+  EXPECT_GT(skipped_wake, 0);
 }
 
 TEST(EventHorizon, SkipsDominateQuiescentTail) {
   // Payload drains within a few thousand cycles; the remaining tail is pure
-  // quiescence the event stepper should jump over nearly for free.
+  // quiescence both event steppers should jump over nearly for free.
   Params p;
   p.run_cycles = 30000;
-  const Digest event = run_scenario(p, /*dense=*/false);
-  EXPECT_GT(event.stepper.skips, 0);
-  EXPECT_GT(event.stepper.skipped_cycles, p.run_cycles / 2);
+  const Digest global = run_scenario(p, StepperKind::kGlobalHorizon);
+  EXPECT_GT(global.stepper.skips, 0);
+  EXPECT_GT(global.stepper.skipped_cycles, p.run_cycles / 2);
+  const Digest wake = run_scenario(p, StepperKind::kWakeList);
+  EXPECT_GT(wake.stepper.skips, 0);
+  EXPECT_GT(wake.stepper.skipped_cycles, p.run_cycles / 2);
 }
 
 TEST(EventHorizon, RunUntilMatchesDenseStepping) {
@@ -348,6 +378,33 @@ TEST(EventHorizon, RunUntilMatchesDenseStepping) {
   ASSERT_TRUE(fired);
   EXPECT_EQ(event.sys.now(), dense_fired);
   EXPECT_EQ(event.sink->received(), dense.sink->received());
+}
+
+TEST(EventHorizon, RunUntilEvaluatesPredicateOncePerStep) {
+  // Regression: run_until used to evaluate the predicate twice per loop
+  // step. The contract is one evaluation per visited cycle — observable
+  // with a counting predicate: the cycles it sees must strictly increase
+  // (no cycle presented twice) even across quiescent jumps.
+  Params p;
+  Scenario s(p);
+  std::vector<Cycle> seen;
+  const bool fired = s.sys.run_until(
+      [&seen](Cycle now) {
+        seen.push_back(now);
+        return false;
+      },
+      2000);
+  EXPECT_FALSE(fired);
+  ASSERT_FALSE(seen.empty());
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    ASSERT_LT(seen[i - 1], seen[i])
+        << "predicate evaluated twice at cycle " << seen[i];
+  }
+  // The final evaluation happens at the budget end.
+  EXPECT_EQ(seen.back(), 2000);
+  // And one evaluation per visited cycle at most: never more evaluations
+  // than cycles + 1 (the +1 is the entry check at cycle 0).
+  EXPECT_LE(seen.size(), static_cast<std::size_t>(2001));
 }
 
 // --- Full PAL decoder demonstrator -------------------------------------
@@ -382,17 +439,25 @@ void expect_same_pal(const app::PalSimResult& dense,
 
 TEST(EventHorizon, PalDecoderEquivalence) {
   app::PalSimConfig cfg = small_pal();
-  cfg.dense_stepper = true;
+  cfg.stepper = StepperKind::kDense;
   const app::PalSimResult dense = app::run_pal_decoder(cfg);
-  cfg.dense_stepper = false;
-  const app::PalSimResult event = app::run_pal_decoder(cfg);
-  expect_same_pal(dense, event);
+  cfg.stepper = StepperKind::kGlobalHorizon;
+  const app::PalSimResult global = app::run_pal_decoder(cfg);
+  cfg.stepper = StepperKind::kWakeList;
+  const app::PalSimResult wake = app::run_pal_decoder(cfg);
+  expect_same_pal(dense, global);
+  expect_same_pal(dense, wake);
   EXPECT_EQ(dense.stepper.skips, 0);
-  EXPECT_GT(event.stepper.skipped_cycles, 0);
+  EXPECT_GT(global.stepper.skipped_cycles, 0);
+  EXPECT_GT(wake.stepper.skipped_cycles, 0);
+  EXPECT_GT(wake.stepper.wakes, 0);
+  // Selective ticking: the wake list must tick strictly fewer components
+  // than the all-or-nothing skipper on the same workload.
+  EXPECT_LT(wake.stepper.component_ticks, global.stepper.component_ticks);
 }
 
 TEST(EventHorizon, PalDecoderEquivalenceUnderFaults) {
-  const auto run = [](bool dense) {
+  const auto run = [](StepperKind kind) {
     FaultInjector inj(0xFA117);
     FaultSpec ring;
     ring.probability = 0.01;
@@ -410,28 +475,36 @@ TEST(EventHorizon, PalDecoderEquivalenceUnderFaults) {
     inj.configure(FaultSite::kExitNotify, notify);
     TraceLog trace(1 << 18);
     app::PalSimConfig cfg = small_pal();
-    cfg.dense_stepper = dense;
+    cfg.stepper = kind;
     cfg.fault = &inj;
     cfg.trace = &trace;
     cfg.notify_timeout = 2000;  // recovery: drops must not deadlock
     app::PalSimResult res = app::run_pal_decoder(cfg);
     return std::make_pair(std::move(res), trace.to_csv());
   };
-  const auto [dense, dense_csv] = run(true);
-  const auto [event, event_csv] = run(false);
-  expect_same_pal(dense, event);
-  EXPECT_EQ(dense_csv, event_csv);
-  EXPECT_EQ(dense.gateway.notify_timeouts, event.gateway.notify_timeouts);
-  EXPECT_EQ(dense.gateway.notify_recoveries, event.gateway.notify_recoveries);
+  const auto [dense, dense_csv] = run(StepperKind::kDense);
+  const auto [global, global_csv] = run(StepperKind::kGlobalHorizon);
+  const auto [wake, wake_csv] = run(StepperKind::kWakeList);
+  expect_same_pal(dense, global);
+  expect_same_pal(dense, wake);
+  EXPECT_EQ(dense_csv, global_csv);
+  EXPECT_EQ(dense_csv, wake_csv);
+  EXPECT_EQ(dense.gateway.notify_timeouts, global.gateway.notify_timeouts);
+  EXPECT_EQ(dense.gateway.notify_timeouts, wake.gateway.notify_timeouts);
+  EXPECT_EQ(dense.gateway.notify_recoveries, global.gateway.notify_recoveries);
+  EXPECT_EQ(dense.gateway.notify_recoveries, wake.gateway.notify_recoveries);
 }
 
 TEST(EventHorizon, PalDedicatedDecoderEquivalence) {
   app::PalSimConfig cfg = small_pal();
-  cfg.dense_stepper = true;
+  cfg.stepper = StepperKind::kDense;
   const app::PalSimResult dense = app::run_pal_decoder_dedicated(cfg);
-  cfg.dense_stepper = false;
-  const app::PalSimResult event = app::run_pal_decoder_dedicated(cfg);
-  expect_same_pal(dense, event);
+  cfg.stepper = StepperKind::kGlobalHorizon;
+  const app::PalSimResult global = app::run_pal_decoder_dedicated(cfg);
+  cfg.stepper = StepperKind::kWakeList;
+  const app::PalSimResult wake = app::run_pal_decoder_dedicated(cfg);
+  expect_same_pal(dense, global);
+  expect_same_pal(dense, wake);
 }
 
 }  // namespace

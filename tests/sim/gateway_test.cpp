@@ -186,7 +186,7 @@ TEST(Gateway, ContextSwitchingPreservesPerStreamKernelState) {
   // never leak across streams.
   MiniSystem ms(16, 20, 64);
   ms.sys.run(64 * 16 + 4000);
-  ms.accel->swap_context(0);
+  ms.accel->swap_context(0, ms.sys.now());
   // Save state via another swap round-trip: direct check through processed
   // counts is simpler: 128 samples total through one accelerator.
   EXPECT_EQ(ms.accel->samples_processed(), 128);
