@@ -7,7 +7,11 @@
 // produces a bit-identical file for any --jobs.
 //
 // Flags: --jobs N (default 2), --seed S, --json PATH, --samples N
-// (front-end samples per point; larger = longer campaign).
+// (front-end samples per point; larger = longer campaign). Observability
+// (docs/observability.md): --metrics prints the metrics snapshot of a
+// fault-free reference run of the campaign configuration; --chrome-trace
+// PATH and --report PATH write that reference run's Perfetto trace and
+// schema-pinned RunReport.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -15,8 +19,11 @@
 #include <string>
 
 #include "app/fault_campaign.hpp"
+#include "app/pal_report.hpp"
 #include "common/bench_schema.hpp"
 #include "common/table.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 
 int main(int argc, char** argv) {
   using namespace acc;
@@ -24,6 +31,9 @@ int main(int argc, char** argv) {
   app::FaultCampaignConfig cfg;
   cfg.jobs = 2;
   std::string json_path = "BENCH_faults.json";
+  bool want_metrics = false;
+  std::string chrome_path;
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       cfg.jobs = std::atoi(argv[++i]);
@@ -34,9 +44,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
       cfg.pal.input_samples = static_cast<std::size_t>(
           std::strtoull(argv[++i], nullptr, 0));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      want_metrics = true;
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      chrome_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--jobs N] [--seed S] [--json PATH] [--samples N]\n";
+                << " [--jobs N] [--seed S] [--json PATH] [--samples N]"
+                   " [--metrics] [--chrome-trace PATH] [--report PATH]\n";
       return 2;
     }
   }
@@ -73,6 +90,31 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << json_path << "\n";
   else
     std::cout << "WARNING: could not write " << json_path << "\n";
+
+  // Observability artifacts come from a fault-free reference run of the
+  // campaign's PAL configuration (the baseline every faulted point is
+  // judged against).
+  if (want_metrics || !chrome_path.empty() || !report_path.empty()) {
+    obs::MetricsRegistry metrics;
+    sim::TraceLog trace;
+    app::PalSimConfig ref = cfg.pal;
+    ref.metrics = &metrics;
+    ref.trace = &trace;
+    const app::PalSimResult r = app::run_pal_decoder(ref);
+    if (want_metrics)
+      std::cout << "\n== fault-free reference metrics ==\n"
+                << metrics.snapshot_text();
+    if (!chrome_path.empty()) {
+      std::ofstream ct(chrome_path);
+      ct << obs::chrome_trace_json(trace);
+      std::cout << "chrome trace written to " << chrome_path << "\n";
+    }
+    if (!report_path.empty()) {
+      std::ofstream rp(report_path);
+      rp << app::pal_run_report_json(ref, r, metrics, &trace);
+      std::cout << "run report written to " << report_path << "\n";
+    }
+  }
 
   // The campaign's headline claim, also asserted by ctest: delays inside
   // the declared envelope never breach the bounds; dropped notifications

@@ -2,6 +2,12 @@
 //
 // Not a paper artifact: establishes that the design-time analyses are
 // interactive-speed and reports the simulator's cycles/second.
+//
+// Observability (docs/observability.md): --metrics prints the metrics
+// snapshot of an instrumented reference run of the sim workload (separate
+// from the timed runs, so BENCH_sim.json timings stay unperturbed);
+// --chrome-trace PATH and --report PATH write that run's Perfetto trace and
+// schema-pinned RunReport.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -11,10 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "app/pal_report.hpp"
 #include "app/sim_bench.hpp"
 #include "common/bench_schema.hpp"
 #include "common/json.hpp"
 #include "dataflow/buffer_sizing.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "dataflow/executor.hpp"
 #include "dataflow/hsdf.hpp"
 #include "sharing/bench_doc.hpp"
@@ -272,6 +281,33 @@ bool emit_sim_json(bool fast, const std::string& path) {
   return problems.empty();
 }
 
+/// Instrumented reference run of the sim workload under the shipping
+/// (wake-list) stepper, kept SEPARATE from the timed emit_sim_json runs so
+/// attaching the registry never perturbs the BENCH_sim.json wall clocks.
+void emit_observability(bool fast, bool want_metrics,
+                        const std::string& chrome_path,
+                        const std::string& report_path) {
+  obs::MetricsRegistry metrics;
+  sim::TraceLog trace;
+  app::PalSimConfig ref = app::sim_bench_pal_config(fast);
+  ref.stepper = sim::StepperKind::kWakeList;
+  ref.metrics = &metrics;
+  ref.trace = &trace;
+  const app::PalSimResult r = app::run_pal_decoder(ref);
+  if (want_metrics)
+    std::cout << "\n== sim reference metrics ==\n" << metrics.snapshot_text();
+  if (!chrome_path.empty()) {
+    std::ofstream ct(chrome_path);
+    ct << obs::chrome_trace_json(trace);
+    std::cout << "chrome trace written to " << chrome_path << "\n";
+  }
+  if (!report_path.empty()) {
+    std::ofstream rp(report_path);
+    rp << app::pal_run_report_json(ref, r, metrics, &trace);
+    std::cout << "run report written to " << report_path << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,6 +317,9 @@ int main(int argc, char** argv) {
   std::string sim_json_path = "BENCH_sim.json";
   bool sim_fast = false;
   bool sim_only = false;
+  bool want_metrics = false;
+  std::string chrome_path;
+  std::string report_path;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -294,14 +333,29 @@ int main(int argc, char** argv) {
       sim_fast = true;
     } else if (std::strcmp(argv[i], "--sim-only") == 0) {
       sim_only = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      want_metrics = true;
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      chrome_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
     } else {
       rest.push_back(argv[i]);
     }
   }
-  if (sim_only) return emit_sim_json(sim_fast, sim_json_path) ? 0 : 1;
+  const bool observe =
+      want_metrics || !chrome_path.empty() || !report_path.empty();
+  if (sim_only) {
+    const bool ok = emit_sim_json(sim_fast, sim_json_path);
+    if (observe)
+      emit_observability(sim_fast, want_metrics, chrome_path, report_path);
+    return ok ? 0 : 1;
+  }
 
   emit_dse_json(jobs, json_path);
   if (!emit_sim_json(sim_fast, sim_json_path)) return 1;
+  if (observe)
+    emit_observability(sim_fast, want_metrics, chrome_path, report_path);
 
   int rest_argc = static_cast<int>(rest.size());
   benchmark::Initialize(&rest_argc, rest.data());

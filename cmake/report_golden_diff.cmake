@@ -1,0 +1,34 @@
+# Runs `pal_stereo_decoder --report <out>` and byte-compares the RunReport
+# against a committed golden document. The report is integer-only by design
+# (see docs/observability.md), so byte-exactness is the determinism contract
+# rendered as a test. Invoked from ctest:
+#   cmake -DDECODER=... -DGOLDEN=... -DOUT=... -DWORKDIR=...
+#         -P report_golden_diff.cmake
+foreach(var DECODER GOLDEN OUT WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "report_golden_diff.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+# The decoder writes its decoded WAV to the cwd; keep that inside the build
+# tree rather than wherever ctest happens to run.
+file(MAKE_DIRECTORY ${WORKDIR})
+execute_process(
+  COMMAND ${DECODER} --report ${OUT}
+  WORKING_DIRECTORY ${WORKDIR}
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "pal_stereo_decoder --report failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E cat ${OUT})
+  message(FATAL_ERROR
+    "pal_stereo_decoder RunReport diverged from golden ${GOLDEN}; "
+    "if the change is intentional, regenerate the golden with "
+    "'pal_stereo_decoder --report ${GOLDEN}'")
+endif()

@@ -6,11 +6,21 @@
 // audio quality, and the gateway/accelerator statistics.
 //
 // Build & run:  ./build/examples/pal_stereo_decoder
+//
+// Observability flags (see docs/observability.md):
+//   --metrics             print the full metrics snapshot after the run
+//   --chrome-trace PATH   write a Perfetto/chrome://tracing JSON trace
+//   --report PATH         write the schema-pinned RunReport JSON
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "app/pal_report.hpp"
 #include "app/pal_system.hpp"
 #include "common/table.hpp"
 #include "lint/linter.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "radio/metrics.hpp"
 #include "radio/wav.hpp"
 
@@ -20,11 +30,36 @@ int main(int argc, char** argv) {
   app::PalSimConfig cfg;
   cfg.input_samples = 1 << 16;  // ~1k audio samples per channel
 
+  bool want_metrics = false;
+  std::string chrome_path;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg == "--chrome-trace" && i + 1 < argc) {
+      chrome_path = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    }
+  }
+
   // Static admissibility first: the full assembled model (block sizes,
   // C-FIFO capacities, gateway wiring). --no-lint skips the gate.
   if (!lint::startup_gate(argc, argv, app::make_lint_input(cfg), std::cerr))
     return 2;
   cfg.lint = false;  // already linted; don't re-check inside the run
+
+  // Any observability output needs the registry; the trace feeds both the
+  // Chrome exporter and the report's observed-vs-bound join.
+  obs::MetricsRegistry metrics;
+  sim::TraceLog trace;
+  const bool observe =
+      want_metrics || !chrome_path.empty() || !report_path.empty();
+  if (observe) {
+    cfg.metrics = &metrics;
+    cfg.trace = &trace;
+  }
 
   std::cout << "Synthesizing PAL stereo broadcast: L=" << cfg.tone_left_hz
             << " Hz, R=" << cfg.tone_right_hz << " Hz, carriers at "
@@ -69,6 +104,21 @@ int main(int argc, char** argv) {
   std::cout << "\nreal-time constraint " << (ok ? "MET" : "VIOLATED")
             << ": continuous stereo playback "
             << (ok ? "guaranteed" : "fails") << "\n";
+
+  if (want_metrics) {
+    std::cout << "\n== metrics snapshot ==\n" << metrics.snapshot_text();
+  }
+  if (!chrome_path.empty()) {
+    std::ofstream out(chrome_path);
+    out << obs::chrome_trace_json(trace);
+    std::cout << "chrome trace written to " << chrome_path
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << app::pal_run_report_json(cfg, r, metrics, &trace);
+    std::cout << "run report written to " << report_path << "\n";
+  }
 
   // Write the decoded audio so it can actually be listened to.
   const std::string wav = "pal_stereo_decoded.wav";

@@ -83,10 +83,12 @@ FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& cfg) {
     sim::FaultInjector inj(point_seed(cfg.seed, i));
     apply_fault_level(inj, level);
     sim::TraceLog trace(1 << 18);
+    obs::MetricsRegistry metrics;
 
     PalSimConfig pal = cfg.pal;
     pal.fault = &inj;
     pal.trace = &trace;
+    pal.metrics = &metrics;
     const PalSimResult sim = run_pal_decoder(pal);
 
     const sharing::SharedSystemSpec spec = make_system_spec(pal);
@@ -124,6 +126,7 @@ FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& cfg) {
     p.sink_underruns = sim.sink_underruns;
     p.trace_truncated = trace.truncated();
     p.trace_csv = trace.to_csv();
+    p.metrics_snapshot = metrics.snapshot_text();
   };
 
   if (cfg.jobs > 1) {

@@ -74,6 +74,10 @@ struct FaultPointResult {
   bool trace_truncated = false;
   /// Full gateway trace (CSV) — the determinism tests compare it verbatim.
   std::string trace_csv;
+  /// Full metrics snapshot of the point's run (obs snapshot_text format).
+  /// Each point owns a private registry, so the snapshot is independent of
+  /// --jobs and compared verbatim by the determinism tests.
+  std::string metrics_snapshot;
 };
 
 struct FaultCampaignConfig {

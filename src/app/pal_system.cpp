@@ -297,6 +297,29 @@ PalSimResult run_pal_decoder(const PalSimConfig& cfg) {
   auto& dac_r = sys.add<sim::SinkTile>("dac.right", out_r, audio_period,
                                        /*prefill=*/burst + 2);
 
+  if (cfg.metrics != nullptr) {
+    obs::MetricsRegistry* reg = cfg.metrics;
+    in1.set_metrics(reg);
+    in2.set_metrics(reg);
+    mid1.set_metrics(reg);
+    mid2.set_metrics(reg);
+    audio1.set_metrics(reg);
+    audio2.set_metrics(reg);
+    out_l.set_metrics(reg);
+    out_r.set_metrics(reg);
+    cordic.set_metrics(reg);
+    fir.set_metrics(reg);
+    entry.set_metrics(reg);
+    exit_gw.set_metrics(reg);
+    sys.ring().set_metrics(reg);
+    fe1.set_metrics(reg);
+    fe2.set_metrics(reg);
+    cpu.set_metrics(reg);
+    dac_l.set_metrics(reg);
+    dac_r.set_metrics(reg);
+    if (cfg.fault != nullptr) cfg.fault->set_metrics(reg);
+  }
+
   // ---- Run: feed everything through, then drain. Underruns during the
   // feed phase are genuine real-time violations; underruns after the
   // front-end stops are just the end of the broadcast. ----

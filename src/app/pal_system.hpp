@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "lint/linter.hpp"
+#include "obs/metrics.hpp"
 #include "radio/signal.hpp"
 #include "sharing/spec.hpp"
 #include "sim/fault.hpp"
@@ -65,6 +66,12 @@ struct PalSimConfig {
   sim::FaultInjector* fault = nullptr;
   /// Event trace of the gateways (conformance checking input).
   sim::TraceLog* trace = nullptr;
+  /// Opt-in metrics: wires every C-FIFO, tile, gateway, the dual ring and
+  /// (when set) the fault injector into the registry. Null (the default)
+  /// keeps the hot path metric-free — every handle no-ops. The snapshot is
+  /// bit-identical across steppers and any --jobs count; caller owns the
+  /// registry. See docs/observability.md.
+  obs::MetricsRegistry* metrics = nullptr;
   /// Entry-gateway notification recovery; 0 disables (seed behaviour).
   sim::Cycle notify_timeout = 0;
   int notify_max_retries = 8;

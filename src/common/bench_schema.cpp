@@ -205,4 +205,81 @@ std::vector<std::string> validate_bench_sim(const json::Value& doc) {
   return problems;
 }
 
+namespace {
+
+/// One {observed, bound, margin} cell of a stream row: the margin must be
+/// the bound join the producer claims it is.
+void check_margin_cell(const json::Value& row, const std::string& path,
+                       const char* key, std::vector<std::string>* problems) {
+  const json::Value* cell = require(row, path, key, Kind::kObject, problems);
+  if (cell == nullptr) return;
+  const std::string cpath = path + "." + key;
+  const json::Value* observed =
+      require(*cell, cpath, "observed", Kind::kInt, problems);
+  const json::Value* bound =
+      require(*cell, cpath, "bound", Kind::kInt, problems);
+  const json::Value* margin =
+      require(*cell, cpath, "margin", Kind::kInt, problems);
+  if (observed == nullptr || bound == nullptr || margin == nullptr) return;
+  const std::int64_t expect = observed->as_int() < 0
+                                  ? bound->as_int()
+                                  : bound->as_int() - observed->as_int();
+  if (margin->as_int() != expect)
+    problems->push_back(cpath + ".margin: expected bound - observed = " +
+                        std::to_string(expect));
+}
+
+}  // namespace
+
+std::vector<std::string> validate_run_report(const json::Value& doc) {
+  std::vector<std::string> problems;
+  const json::Value* report =
+      require(doc, "$", "report", Kind::kString, &problems);
+  if (report != nullptr && report->as_string() != "run")
+    problems.push_back("$.report: expected \"run\"");
+  (void)require(doc, "$", "version", Kind::kInt, &problems);
+  (void)require(doc, "$", "workload", Kind::kString, &problems);
+  (void)require(doc, "$", "params", Kind::kObject, &problems);
+  (void)require(doc, "$", "cycles_run", Kind::kInt, &problems);
+  const json::Value* stepper =
+      require(doc, "$", "stepper", Kind::kString, &problems);
+  if (stepper != nullptr && stepper->as_string() != "dense" &&
+      stepper->as_string() != "global-horizon" &&
+      stepper->as_string() != "wake-list")
+    problems.push_back(
+        "$.stepper: expected \"dense\", \"global-horizon\" or \"wake-list\"");
+  (void)require(doc, "$", "verdict", Kind::kObject, &problems);
+
+  const json::Value* streams =
+      require(doc, "$", "streams", Kind::kArray, &problems);
+  if (streams != nullptr) {
+    if (streams->as_array().empty())
+      problems.push_back("$.streams: expected at least one stream row");
+    for (std::size_t i = 0; i < streams->as_array().size(); ++i) {
+      const std::string path = "$.streams[" + std::to_string(i) + "]";
+      const json::Value& row = streams->as_array()[i];
+      require_all(row, path,
+                  {{"id", Kind::kInt},
+                   {"stream", Kind::kString},
+                   {"eta", Kind::kInt},
+                   {"blocks", Kind::kInt}},
+                  &problems);
+      check_margin_cell(row, path, "service", &problems);
+      check_margin_cell(row, path, "spacing", &problems);
+    }
+  }
+
+  (void)require(doc, "$", "metrics", Kind::kObject, &problems);
+  const json::Value* trace =
+      require(doc, "$", "trace", Kind::kObject, &problems);
+  if (trace != nullptr) {
+    require_all(*trace, "$.trace",
+                {{"events", Kind::kInt},
+                 {"dropped", Kind::kInt},
+                 {"truncated", Kind::kBool}},
+                &problems);
+  }
+  return problems;
+}
+
 }  // namespace acc

@@ -28,4 +28,10 @@ namespace acc {
 [[nodiscard]] std::vector<std::string> validate_bench_sim(
     const json::Value& doc);
 
+/// Validate a RunReport document (see obs/run_report.hpp). Enforces the
+/// margin arithmetic (margin == bound - observed, or == bound when nothing
+/// was observed) and a non-empty streams table on top of key/kind checks.
+[[nodiscard]] std::vector<std::string> validate_run_report(
+    const json::Value& doc);
+
 }  // namespace acc

@@ -1,5 +1,7 @@
 #include "sharing/report.hpp"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "common/table.hpp"
@@ -96,6 +98,52 @@ std::string SystemReport::to_markdown(const SharedSystemSpec& sys) const {
   os << "\nEvery stream's guaranteed rate is >= its required mu "
         "(Eq. 5 verified with exact rational arithmetic).\n";
   return os.str();
+}
+
+std::vector<ObservedStream> observe_streams(
+    const SharedSystemSpec& sys, const std::vector<std::int64_t>& etas,
+    const sim::TraceLog& trace, sim::Cycle slack) {
+  sys.validate();
+  ACC_EXPECTS(etas.size() == sys.num_streams());
+  ACC_EXPECTS(slack >= 0);
+
+  const Time gamma = gamma_hat(sys, etas);
+  std::vector<ObservedStream> out(sys.num_streams());
+  // Raw (pre-slack) spacing bound doubles as the starvation cutoff, exactly
+  // as in check_conformance.
+  std::vector<Time> sbound(sys.num_streams());
+  for (std::size_t s = 0; s < sys.num_streams(); ++s) {
+    const Time input_limited = (Rational(etas[s]) / sys.streams[s].mu).ceil();
+    sbound[s] = std::max(gamma, input_limited);
+    out[s].service_bound = tau_hat(sys, s, etas[s]) + slack;
+    out[s].spacing_bound = sbound[s] + slack;
+  }
+
+  std::map<std::int64_t, sim::Cycle> open_admit;
+  std::map<std::int64_t, sim::Cycle> last_done;
+  for (const sim::TraceEvent& e : trace.events()) {
+    if (e.event == "admit") {
+      open_admit[e.value] = e.cycle;
+    } else if (e.event == "block.done") {
+      const auto n = static_cast<std::size_t>(e.value);
+      if (n >= out.size()) continue;  // not a modelled stream
+      const auto it = open_admit.find(e.value);
+      if (it != open_admit.end()) {
+        ++out[n].blocks;
+        out[n].max_service =
+            std::max(out[n].max_service, e.cycle - it->second);
+        open_admit.erase(it);
+      }
+      const auto prev = last_done.find(e.value);
+      if (prev != last_done.end()) {
+        const sim::Cycle gap = e.cycle - prev->second;
+        if (gap < 2 * sbound[n])  // larger gaps = input starvation, not load
+          out[n].max_spacing = std::max(out[n].max_spacing, gap);
+      }
+      last_done[e.value] = e.cycle;
+    }
+  }
+  return out;
 }
 
 }  // namespace acc::sharing

@@ -11,6 +11,7 @@
 #include "sharing/blocksize.hpp"
 #include "sharing/parametric.hpp"
 #include "sharing/spec.hpp"
+#include "sim/trace.hpp"
 
 namespace acc::sharing {
 
@@ -52,5 +53,26 @@ struct SystemReport {
 /// Run the full analysis pipeline.
 [[nodiscard]] SystemReport analyze_system(const SharedSystemSpec& sys,
                                           const ReportOptions& opt = {});
+
+/// Observed per-stream maxima extracted from an entry-gateway trace, joined
+/// against the analytic bounds the conformance checker enforces. The
+/// definitions are exactly check_conformance's (so a conforming fault-free
+/// run always shows observed <= bound):
+///   service: admit -> block.done, bound = tau_hat + slack (Eq. 2);
+///   spacing: gap between consecutive block.done of one stream, bound =
+///     max(gamma_hat, ceil(eta/mu)) + slack (Eq. 4), gaps >= 2x the raw
+///     bound excluded as input starvation rather than contention.
+struct ObservedStream {
+  std::int64_t blocks = 0;         // completed blocks seen in the trace
+  sim::Cycle max_service = -1;     // -1 = no completed block observed
+  sim::Cycle max_spacing = -1;     // -1 = fewer than two completions
+  sim::Cycle service_bound = 0;    // tau_hat + slack
+  sim::Cycle spacing_bound = 0;    // spacing bound + slack
+};
+
+/// One ObservedStream per stream of `sys`, indexed by trace stream id.
+[[nodiscard]] std::vector<ObservedStream> observe_streams(
+    const SharedSystemSpec& sys, const std::vector<std::int64_t>& etas,
+    const sim::TraceLog& trace, sim::Cycle slack = 16);
 
 }  // namespace acc::sharing

@@ -31,7 +31,15 @@ void AcceleratorTile::swap_context(StreamId id, Cycle now) {
   ACC_EXPECTS_MSG(drained(), "context switch on a non-drained accelerator");
   active_ = id;
   active_kernel_ = contexts_.at(id).get();
+  m_ctx_switches_.add();
   if (trace_ != nullptr) trace_->record(now, name_, "ctx.switch", id);
+}
+
+void AcceleratorTile::set_metrics(obs::MetricsRegistry* registry) {
+  const std::string prefix = "tile." + name_;
+  m_samples_ = obs::make_counter(registry, prefix + ".samples");
+  m_busy_ = obs::make_counter(registry, prefix + ".busy_cycles");
+  m_ctx_switches_ = obs::make_counter(registry, prefix + ".ctx_switches");
 }
 
 std::size_t AcceleratorTile::context_words() const {
@@ -79,6 +87,8 @@ void AcceleratorTile::tick(Cycle now) {
     for (const CQ16& s : scratch_out_) pending_out_.push_back(pack_sample(s));
     scratch_out_.clear();
     ++processed_;
+    m_samples_.add();
+    m_busy_.add(cycles_per_sample_);
   }
 
   // Start the next sample: needs input and room for the worst-case output

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "accel/kernel.hpp"
+#include "obs/metrics.hpp"
 #include "sim/component.hpp"
 #include "sim/ring.hpp"
 #include "sim/trace.hpp"
@@ -62,6 +63,11 @@ class AcceleratorTile final : public Component {
   [[nodiscard]] std::int32_t ring_node() const override { return node_; }
 
   void set_trace(TraceLog* trace) { trace_ = trace; }
+  /// Opt-in metrics: tile.<name>.{samples,busy_cycles,ctx_switches}.
+  /// busy_cycles accrues cycles_per_sample at each completion EVENT (not
+  /// per tick), so the total equals the dense busy accounting for every
+  /// finished sample and is bit-identical across steppers.
+  void set_metrics(obs::MetricsRegistry* registry);
 
   [[nodiscard]] std::int32_t node() const { return node_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -104,6 +110,9 @@ class AcceleratorTile final : public Component {
   std::int64_t processed_ = 0;
   std::int64_t busy_cycles_ = 0;
   TraceLog* trace_ = nullptr;
+  obs::Counter m_samples_;
+  obs::Counter m_busy_;
+  obs::Counter m_ctx_switches_;
 };
 
 }  // namespace acc::sim

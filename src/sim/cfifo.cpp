@@ -60,6 +60,9 @@ void CFifo::push(Cycle now, Flit f) {
   data_.emplace_back(visible_at, f);
   ++pushed_;
   peak_ = std::max(peak_, static_cast<std::int64_t>(data_.size()));
+  m_pushed_.add();
+  m_occupancy_.set(static_cast<std::int64_t>(data_.size()));
+  m_occupancy_hist_.observe(static_cast<std::int64_t>(data_.size()));
   for (Component* w : push_watchers_) w->request_wake();
 }
 
@@ -109,8 +112,19 @@ Flit CFifo::pop(Cycle now) {
   if (!freed_.empty()) freed_at = std::max(freed_at, freed_.back());
   freed_.push_back(freed_at);
   ++popped_;
+  m_popped_.add();
+  m_occupancy_.set(static_cast<std::int64_t>(data_.size()));
   for (Component* w : pop_watchers_) w->request_wake();
   return f;
+}
+
+void CFifo::set_metrics(obs::MetricsRegistry* registry) {
+  const std::string prefix = "cfifo." + name_;
+  m_pushed_ = obs::make_counter(registry, prefix + ".pushed");
+  m_popped_ = obs::make_counter(registry, prefix + ".popped");
+  m_occupancy_ = obs::make_gauge(registry, prefix + ".occupancy");
+  m_occupancy_hist_ = obs::make_histogram(registry, prefix + ".occupancy_hist",
+                                          obs::occupancy_bounds(capacity_));
 }
 
 void CFifo::add_push_watcher(Component* c) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 #include "sim/flit.hpp"
 #include "sim/ring.hpp"
 
@@ -69,6 +70,12 @@ class CFifo {
   /// Peak ground-truth occupancy ever seen.
   [[nodiscard]] std::int64_t peak_fill() const { return peak_; }
 
+  /// Opt-in metrics (see docs/observability.md): registers
+  /// cfifo.<name>.{pushed,popped,occupancy,occupancy_hist} and updates them
+  /// on every push/pop — event-driven, so snapshots are stepper-exact.
+  /// Null detaches (handles become no-ops).
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Opt-in fault injection (kCreditWithhold): each push/pop may have its
   /// counter update delayed beyond the nominal visibility lag — a withheld
   /// software credit. Data is never lost and order is preserved; the other
@@ -99,6 +106,10 @@ class CFifo {
   std::int64_t pushed_ = 0;
   std::int64_t popped_ = 0;
   std::int64_t peak_ = 0;
+  obs::Counter m_pushed_;
+  obs::Counter m_popped_;
+  obs::Gauge m_occupancy_;
+  obs::Histogram m_occupancy_hist_;
   // Monotonic-time guard: visibility bookkeeping assumes non-decreasing now.
   mutable Cycle last_now_ = 0;
 };

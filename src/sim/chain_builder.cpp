@@ -65,6 +65,13 @@ GatewayChain build_gateway_chain(System& sys, const ChainConfig& cfg) {
     exit.set_fault(cfg.fault);
     sys.ring().set_fault(cfg.fault);
   }
+  if (cfg.metrics != nullptr) {
+    entry.set_metrics(cfg.metrics);
+    exit.set_metrics(cfg.metrics);
+    for (AcceleratorTile* a : chain.accels) a->set_metrics(cfg.metrics);
+    sys.ring().set_metrics(cfg.metrics);
+    if (cfg.fault != nullptr) cfg.fault->set_metrics(cfg.metrics);
+  }
   if (cfg.retry.notify_timeout > 0) entry.set_retry_policy(cfg.retry);
 
   chain.entry = &entry;

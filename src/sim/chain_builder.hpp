@@ -27,6 +27,10 @@ struct ChainConfig {
   Cycle exit_notify_lag = 4;
   /// Optional event tracing for every component of the chain.
   TraceLog* trace = nullptr;
+  /// Optional metrics: registers the gateways, every accelerator tile, the
+  /// System's dual ring and (when fault is set) the injector. C-FIFOs are
+  /// caller-owned — wire them per FIFO via CFifo::set_metrics.
+  obs::MetricsRegistry* metrics = nullptr;
   /// Optional fault injection: wires the gateways (config-bus contention,
   /// notification delay/drop) and the System's dual ring (stall windows).
   /// Attach C-FIFO credit-withhold faults per FIFO via CFifo::set_fault.

@@ -39,6 +39,18 @@ const FaultSpec& FaultInjector::spec(FaultSite site) const {
   return sites_[static_cast<std::size_t>(site)].spec;
 }
 
+void FaultInjector::set_metrics(obs::MetricsRegistry* registry) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    SiteState& s = sites_[static_cast<std::size_t>(i)];
+    const std::string p =
+        std::string("fault.") + fault_site_name(static_cast<FaultSite>(i));
+    s.m_consults = obs::make_counter(registry, p + ".consults");
+    s.m_injected = obs::make_counter(registry, p + ".injected");
+    s.m_dropped = obs::make_counter(registry, p + ".dropped");
+    s.m_delay_cycles = obs::make_counter(registry, p + ".delay_cycles");
+  }
+}
+
 bool FaultInjector::eligible(SiteState& s, Cycle now) const {
   if (!s.spec.active()) return false;
   if (now < s.spec.window_from || now >= s.spec.window_until) return false;
@@ -49,11 +61,14 @@ Cycle FaultInjector::delay(FaultSite site, Cycle now) {
   SiteState& s = sites_[static_cast<std::size_t>(site)];
   if (!eligible(s, now)) return 0;
   ++s.stats.consults;
+  s.m_consults.add();
   if (!s.rng.chance(s.spec.probability)) return 0;
   const Cycle d = s.rng.uniform(1, s.spec.max_delay);
   s.quiet_until = now + d + s.spec.min_spacing;
   ++s.stats.injected;
+  s.m_injected.add();
   s.stats.delay_cycles += d;
+  s.m_delay_cycles.add(d);
   s.stats.max_delay_seen = std::max(s.stats.max_delay_seen, d);
   if (hub_ != nullptr) hub_->fault_site_changed(site);
   return d;
@@ -64,8 +79,10 @@ bool FaultInjector::drop(FaultSite site, Cycle now) {
   if (s.spec.drop_probability <= 0.0) return false;
   if (now < s.spec.window_from || now >= s.spec.window_until) return false;
   ++s.stats.consults;
+  s.m_consults.add();
   if (!s.rng.chance(s.spec.drop_probability)) return false;
   ++s.stats.dropped;
+  s.m_dropped.add();
   return true;
 }
 

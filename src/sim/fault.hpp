@@ -30,6 +30,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/ring.hpp"
 
 namespace acc::sim {
@@ -125,12 +126,22 @@ class FaultInjector {
   /// (the default) under the dense / global-horizon steppers.
   void set_wake_hub(WakeHub* hub) { hub_ = hub; }
 
+  /// Opt-in metrics: fault.<site>.{consults,injected,dropped,delay_cycles}
+  /// per site, mirroring the FaultSiteStats increments. The stats are
+  /// already proven bit-identical across steppers (conformance-under-faults
+  /// suite), so the mirrored counters inherit that guarantee.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct SiteState {
     FaultSpec spec;
     SplitMix64 rng{0};
     Cycle quiet_until = 0;
     FaultSiteStats stats;
+    obs::Counter m_consults;
+    obs::Counter m_injected;
+    obs::Counter m_dropped;
+    obs::Counter m_delay_cycles;
   };
 
   [[nodiscard]] bool eligible(SiteState& s, Cycle now) const;

@@ -73,6 +73,24 @@ void EntryGateway::set_credit_stall_threshold(Cycle threshold) {
   credit_stall_threshold_ = threshold;
 }
 
+void EntryGateway::set_metrics(obs::MetricsRegistry* registry) {
+  const std::string p = "gateway." + name_;
+  m_admissions_ = obs::make_counter(registry, p + ".admissions");
+  m_admission_wait_ = obs::make_histogram(registry, p + ".admission_wait",
+                                          obs::pow2_bounds(16, 8));
+  m_blocks_ = obs::make_counter(registry, p + ".blocks");
+  m_samples_ = obs::make_counter(registry, p + ".samples");
+  m_reconfigs_ = obs::make_counter(registry, p + ".reconfigs");
+  m_reconfig_cost_ = obs::make_counter(registry, p + ".reconfig_cost");
+  m_bus_faults_ = obs::make_counter(registry, p + ".config_bus_faults");
+  m_bus_fault_cycles_ =
+      obs::make_counter(registry, p + ".config_bus_fault_cycles");
+  m_notify_timeouts_ = obs::make_counter(registry, p + ".notify_timeouts");
+  m_notify_retries_ = obs::make_counter(registry, p + ".notify_retries");
+  m_notify_recoveries_ = obs::make_counter(registry, p + ".notify_recoveries");
+  m_credit_stalls_ = obs::make_counter(registry, p + ".credit_stalls");
+}
+
 void EntryGateway::start_draining(Cycle now) {
   state_ = State::kDraining;
   retries_ = 0;
@@ -89,6 +107,7 @@ void EntryGateway::note_credit_stall(Cycle now) {
   if (!credit_stall_traced_ &&
       now - credit_stall_since_ >= credit_stall_threshold_) {
     ++stats_.credit_stalls;
+    m_credit_stalls_.add();
     credit_stall_traced_ = true;
     if (trace_ != nullptr)
       trace_->record(now, name_, "stall.credit", now - credit_stall_since_);
@@ -136,6 +155,10 @@ void EntryGateway::tick(Cycle now) {
       // (the paper's R_s is charged per switch; re-admitting the same
       // stream back-to-back skips the bus transfer).
       if (trace_ != nullptr) trace_->record(now, name_, "admit", r.id);
+      m_admissions_.add();
+      // Both endpoints of the wait are FSM-transition cycles (block.done /
+      // construction and this admit), so the measured wait is stepper-exact.
+      m_admission_wait_.observe(now - idle_since_);
       if (loaded_context_ && *loaded_context_ == r.id) {
         state_ = State::kStreaming;
         remaining_ = r.eta;
@@ -149,11 +172,15 @@ void EntryGateway::tick(Cycle now) {
           const Cycle extra = fault_->delay(FaultSite::kConfigBus, now);
           if (extra > 0) {
             cost += extra;
+            m_bus_faults_.add();
+            m_bus_fault_cycles_.add(extra);
             if (trace_ != nullptr)
               trace_->record(now, name_, "fault.config_bus", extra);
           }
         }
         busy_until_ = now + cost;
+        m_reconfigs_.add();
+        m_reconfig_cost_.add(cost);
         ++stats_.reconfig_cycles;  // this cycle counts as reconfig work
         if (trace_ != nullptr)
           trace_->record(now, name_, "reconfig.start", r.id);
@@ -196,6 +223,7 @@ void EntryGateway::tick(Cycle now) {
         --credits_;
         sample_in_flight_ = false;
         ++stats_.samples_forwarded;
+        m_samples_.add();
         if (--remaining_ == 0) {
           start_draining(now);
           return;
@@ -225,13 +253,16 @@ void EntryGateway::tick(Cycle now) {
         // never deadlock the chain), just ever more lazily.
         if (retries_ == 0) {
           ++stats_.notify_timeouts;
+          m_notify_timeouts_.add();
           if (trace_ != nullptr)
             trace_->record(now, name_, "notify.timeout", streams_[active_].id);
         }
         ++stats_.notify_retries;
+        m_notify_retries_.add();
         ++retries_;
         if (exit_->reclaim_notification(now)) {
           ++stats_.notify_recoveries;
+          m_notify_recoveries_.add();
           if (trace_ != nullptr)
             trace_->record(now, name_, "notify.recovered",
                            streams_[active_].id);
@@ -247,7 +278,9 @@ void EntryGateway::tick(Cycle now) {
       }
       if (pipeline_idle_) {
         ++stats_.blocks;
+        m_blocks_.add();
         state_ = State::kIdle;
+        idle_since_ = now;
         if (trace_ != nullptr)
           trace_->record(now, name_, "block.done", streams_[active_].id);
       }
@@ -347,6 +380,13 @@ ExitGateway::ExitGateway(std::string name, DualRing& ring, std::int32_t node,
   ACC_EXPECTS(notify_lag >= 0);
 }
 
+void ExitGateway::set_metrics(obs::MetricsRegistry* registry) {
+  const std::string p = "gateway." + name_;
+  m_delivered_ = obs::make_counter(registry, p + ".delivered");
+  m_notify_drops_ = obs::make_counter(registry, p + ".notify_drops");
+  m_notify_reclaims_ = obs::make_counter(registry, p + ".notify_reclaims");
+}
+
 void ExitGateway::set_upstream(std::int32_t node, std::uint32_t tag) {
   upstream_node_ = node;
   upstream_tag_ = tag;
@@ -392,6 +432,7 @@ void ExitGateway::tick(Cycle now) {
                   name_ + ": output C-FIFO overflow despite reservation");
     output_->push(now, current_);
     ++delivered_;
+    m_delivered_.add();
     ACC_CHECK_MSG(expected_ > 0, name_ + ": sample arrived while disarmed");
     if (--expected_ == 0) {
       Cycle lag = notify_lag_;
@@ -408,6 +449,7 @@ void ExitGateway::tick(Cycle now) {
         // policy can reclaim this block's completion.
         notify_lost_ = true;
         ++notify_drops_;
+        m_notify_drops_.add();
         if (trace_ != nullptr)
           trace_->record(now, name_, "fault.notify_drop", stream_);
       } else {
@@ -444,6 +486,7 @@ bool ExitGateway::reclaim_notification(Cycle now) {
   if (!notify_at_ && !notify_lost_) return false;  // already delivered
   notify_at_.reset();
   notify_lost_ = false;
+  m_notify_reclaims_.add();
   ACC_CHECK(entry_ != nullptr);
   if (trace_ != nullptr)
     trace_->record(now, name_, "notify.reclaimed", stream_);

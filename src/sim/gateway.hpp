@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/accel_tile.hpp"
 #include "sim/cfifo.hpp"
 #include "sim/component.hpp"
@@ -113,6 +114,11 @@ class EntryGateway final : public Component {
 
   /// Opt-in event tracing (admissions, reconfigurations, completions).
   void set_trace(TraceLog* trace) { trace_ = trace; }
+  /// Opt-in metrics: gateway.<name>.* admission/reconfig/retry counters and
+  /// the admission-wait histogram (idle -> admit cycles). Every update fires
+  /// at an FSM transition — a cycle all steppers tick densely — so the
+  /// snapshot is stepper-exact (see docs/observability.md).
+  void set_metrics(obs::MetricsRegistry* registry);
   /// Opt-in fault injection: config-bus contention on context switches.
   void set_fault(FaultInjector* injector) { fault_ = injector; }
   /// Enable notification-timeout recovery (see GatewayRetryPolicy).
@@ -172,8 +178,21 @@ class EntryGateway final : public Component {
   Cycle credit_stall_threshold_ = 32;
   Cycle credit_stall_since_ = -1; // -1 = not currently starved
   bool credit_stall_traced_ = false;
+  Cycle idle_since_ = 0;          // cycle the FSM last entered kIdle
 
   GatewayStats stats_;
+  obs::Counter m_admissions_;
+  obs::Histogram m_admission_wait_;
+  obs::Counter m_blocks_;
+  obs::Counter m_samples_;
+  obs::Counter m_reconfigs_;
+  obs::Counter m_reconfig_cost_;
+  obs::Counter m_bus_faults_;
+  obs::Counter m_bus_fault_cycles_;
+  obs::Counter m_notify_timeouts_;
+  obs::Counter m_notify_retries_;
+  obs::Counter m_notify_recoveries_;
+  obs::Counter m_credit_stalls_;
 };
 
 class ExitGateway final : public Component {
@@ -186,6 +205,8 @@ class ExitGateway final : public Component {
 
   void set_entry(EntryGateway* entry) { entry_ = entry; }
   void set_trace(TraceLog* trace) { trace_ = trace; }
+  /// Opt-in metrics: gateway.<name>.{delivered,notify_drops,notify_reclaims}.
+  void set_metrics(obs::MetricsRegistry* registry);
   /// Opt-in fault injection: pipeline-idle notifications may be delayed or
   /// dropped (kExitNotify) — the entry-gateway's retry policy recovers.
   void set_fault(FaultInjector* injector) { fault_ = injector; }
@@ -246,6 +267,9 @@ class ExitGateway final : public Component {
   std::optional<Cycle> notify_at_;
   bool notify_lost_ = false;  // fault swallowed the notification
   std::int64_t notify_drops_ = 0;
+  obs::Counter m_delivered_;
+  obs::Counter m_notify_drops_;
+  obs::Counter m_notify_reclaims_;
 };
 
 }  // namespace acc::sim

@@ -39,6 +39,12 @@ std::int64_t ProcessorTile::invocations(std::size_t task) const {
   return invocations_[task];
 }
 
+void ProcessorTile::set_metrics(obs::MetricsRegistry* registry) {
+  const std::string p = "proc." + name_;
+  m_invocations_ = obs::make_counter(registry, p + ".invocations");
+  m_busy_ = obs::make_counter(registry, p + ".busy_cycles");
+}
+
 void ProcessorTile::tick(Cycle now) {
   if (tasks_.empty()) return;
   if (now >= next_replenish_) {
@@ -74,6 +80,8 @@ void ProcessorTile::tick(Cycle now) {
       busy_until_ = now + cost;
       ++busy_cycles_;
       ++invocations_[idx];
+      m_invocations_.add();
+      m_busy_.add(cost);
       current_ = (idx + 1) % tasks_.size();
       return;
     }
@@ -139,8 +147,10 @@ void SourceTile::tick(Cycle now) {
   if (out_.can_push(now)) {
     out_.push(now, samples_[next_]);
     ++emitted_;
+    m_emitted_.add();
   } else {
     ++dropped_;
+    m_dropped_.add();
   }
   ++next_;
   // Next release: nominal grid plus bounded jitter (never cumulative).
@@ -150,6 +160,12 @@ void SourceTile::tick(Cycle now) {
     next_emit_ += rng.uniform(0, max_jitter_);
     jitter_state_ = rng.next();
   }
+}
+
+void SourceTile::set_metrics(obs::MetricsRegistry* registry) {
+  const std::string p = "source." + name_;
+  m_emitted_ = obs::make_counter(registry, p + ".emitted");
+  m_dropped_ = obs::make_counter(registry, p + ".dropped");
 }
 
 Cycle SourceTile::next_event(Cycle now) const {
@@ -180,10 +196,18 @@ void SinkTile::tick(Cycle now) {
   if (in_.can_pop(now)) {
     received_.push_back(in_.pop(now));
     timestamps_.push_back(now);
+    m_received_.add();
   } else {
     ++underruns_;  // DAC starved: audible glitch
+    m_underruns_.add();
   }
   next_due_ += period_;
+}
+
+void SinkTile::set_metrics(obs::MetricsRegistry* registry) {
+  const std::string p = "sink." + name_;
+  m_received_ = obs::make_counter(registry, p + ".received");
+  m_underruns_ = obs::make_counter(registry, p + ".underruns");
 }
 
 Cycle SinkTile::next_event(Cycle now) const {

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/cfifo.hpp"
 #include "sim/component.hpp"
 
@@ -86,6 +87,12 @@ class ProcessorTile final : public Component {
   [[nodiscard]] Cycle busy_cycles() const { return busy_cycles_; }
   [[nodiscard]] std::int64_t invocations(std::size_t task) const;
 
+  /// Opt-in metrics: proc.<name>.{invocations,busy_cycles}. busy_cycles
+  /// accrues the invocation's full cost at the invocation EVENT, so the
+  /// metric is stepper-exact (the per-tick busy_cycles() accessor is not a
+  /// metric source for this reason).
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   std::string name_;
   Cycle period_;
@@ -98,6 +105,8 @@ class ProcessorTile final : public Component {
   Cycle busy_until_ = 0;
   Cycle next_replenish_ = 0;
   Cycle busy_cycles_ = 0;
+  obs::Counter m_invocations_;
+  obs::Counter m_busy_;
 };
 
 class SourceTile final : public Component {
@@ -117,6 +126,9 @@ class SourceTile final : public Component {
   /// kNeverCycle once the sample list is exhausted. No per-cycle counters,
   /// so the default no-op skip_to is exact.
   [[nodiscard]] Cycle next_event(Cycle now) const override;
+
+  /// Opt-in metrics: source.<name>.{emitted,dropped}.
+  void set_metrics(obs::MetricsRegistry* registry);
 
   [[nodiscard]] std::int64_t emitted() const { return emitted_; }
   [[nodiscard]] std::int64_t dropped() const { return dropped_; }
@@ -140,6 +152,8 @@ class SourceTile final : public Component {
   std::int64_t dropped_ = 0;
   Cycle max_jitter_ = 0;
   std::uint64_t jitter_state_ = 0;
+  obs::Counter m_emitted_;
+  obs::Counter m_dropped_;
 };
 
 class SinkTile final : public Component {
@@ -153,6 +167,13 @@ class SinkTile final : public Component {
   /// Event horizon: the prefill visibility deadline before start, the next
   /// DAC due time after. No per-cycle counters; default skip_to is exact.
   [[nodiscard]] Cycle next_event(Cycle now) const override;
+
+  /// Opt-in metrics: sink.<name>.{received,underruns}. The underruns
+  /// counter covers the WHOLE run, including any post-feed drain phase the
+  /// harness runs after the broadcast ends — unlike a verdict that
+  /// snapshots underruns() at end-of-feed, so the two can legitimately
+  /// differ on a run that drains past its input.
+  void set_metrics(obs::MetricsRegistry* registry);
 
   [[nodiscard]] const std::vector<Flit>& received() const { return received_; }
   [[nodiscard]] const std::vector<Cycle>& timestamps() const {
@@ -171,6 +192,8 @@ class SinkTile final : public Component {
   std::vector<Flit> received_;
   std::vector<Cycle> timestamps_;
   std::int64_t underruns_ = 0;
+  obs::Counter m_received_;
+  obs::Counter m_underruns_;
 };
 
 }  // namespace acc::sim

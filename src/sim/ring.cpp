@@ -22,6 +22,7 @@ bool Ring::try_inject(std::int32_t node, const RingMsg& msg) {
   if (q.size() >= kInjectQueueDepth) return false;
   q.push_back(msg);
   ++queued_;
+  m_injected_.add();
   if (hub_ != nullptr) hub_->ring_activity(*this);
   return true;
 }
@@ -56,6 +57,13 @@ void Ring::set_fault(FaultInjector* injector, FaultSite site) {
   fault_site_ = site;
 }
 
+void Ring::set_metrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix) {
+  m_injected_ = obs::make_counter(registry, prefix + ".injected");
+  m_delivered_ = obs::make_counter(registry, prefix + ".delivered");
+  m_hops_ = obs::make_counter(registry, prefix + ".hops");
+}
+
 void Ring::tick() {
   const Cycle now = now_++;
   if (now < stall_until_) {
@@ -81,6 +89,10 @@ void Ring::tick() {
     ++offset_;
     if (offset_ == slots_.size()) offset_ = 0;
   }
+  // Every occupied slot just advanced one hop. Rotations happen only on
+  // non-stalled dense ticks; skipped cycles are exactly those where either
+  // nothing is in flight or the ring is frozen, so this stays stepper-exact.
+  m_hops_.add(occupied_);
 
   // At each node: eject a slot addressed to it, then fill a free slot from
   // the local injection queue.
@@ -92,6 +104,7 @@ void Ring::tick() {
       ++delivered_;
       --occupied_;
       ++pending_eject_;
+      m_delivered_.add();
       if (hub_ != nullptr) hub_->ring_delivery(*this, i);
     }
     if (!s.occupied && !inject_[i].empty()) {

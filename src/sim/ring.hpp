@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 #include "sim/flit.hpp"
 
 namespace acc::sim {
@@ -63,6 +64,14 @@ class Ring {
   /// ejection, no drain of the injection queues (messages are delayed,
   /// never lost — the paper's interconnect stays lossless under faults).
   void tick();
+
+  /// Opt-in metrics: registers <prefix>.{injected,delivered,hops} (see
+  /// docs/observability.md). Injections and deliveries are events; `hops`
+  /// accrues one count per occupied slot per rotation — a rotation only
+  /// happens on a densely ticked, non-stalled cycle, and the steppers skip
+  /// exactly the cycles where no rotation moves anything, so all three
+  /// totals are stepper-exact.
+  void set_metrics(obs::MetricsRegistry* registry, const std::string& prefix);
 
   /// Opt-in fault injection: consult `injector` at `site` once per tick
   /// for a stall window (see sim/fault.hpp).
@@ -136,6 +145,9 @@ class Ring {
   Cycle stall_until_ = 0;
   Cycle stall_cycles_ = 0;
   WakeHub* hub_ = nullptr;
+  obs::Counter m_injected_;
+  obs::Counter m_delivered_;
+  obs::Counter m_hops_;
 };
 
 /// The paper's dual ring: data one way, credits the other way.
@@ -150,6 +162,12 @@ class DualRing {
   /// Wire both rings to one injector's kRingLink site (a stall models
   /// link-level contention hitting the physical ring pair).
   void set_fault(FaultInjector* injector);
+
+  /// Register ring.data.* / ring.credit.* metrics on both rings.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    data_.set_metrics(registry, "ring.data");
+    credit_.set_metrics(registry, "ring.credit");
+  }
 
   void tick() {
     data_.tick();

@@ -1,0 +1,129 @@
+// Unit tests for the metrics registry primitives: handle semantics (null =
+// no-op), bucket layout helpers, and the two snapshot renderings the
+// differential suite and the RunReport build on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace acc::obs {
+namespace {
+
+TEST(Metrics, NullHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.enabled());
+  EXPECT_FALSE(g.enabled());
+  EXPECT_FALSE(h.enabled());
+  // Must not crash and must not observe anything.
+  c.add();
+  c.add(41);
+  g.set(7);
+  h.observe(123);
+}
+
+TEST(Metrics, MakeHelpersTolerateNullRegistry) {
+  EXPECT_FALSE(make_counter(nullptr, "a").enabled());
+  EXPECT_FALSE(make_gauge(nullptr, "b").enabled());
+  EXPECT_FALSE(make_histogram(nullptr, "c", {1, 2}).enabled());
+
+  MetricsRegistry reg;
+  EXPECT_TRUE(make_counter(&reg, "a").enabled());
+  EXPECT_TRUE(make_gauge(&reg, "b").enabled());
+  EXPECT_TRUE(make_histogram(&reg, "c", {1, 2}).enabled());
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("x.total");
+  c.add();
+  c.add(9);
+  const MetricCell* cell = reg.find("x.total");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->kind, MetricKind::kCounter);
+  EXPECT_EQ(cell->value, 10);
+}
+
+TEST(Metrics, GaugeTracksLastAndMax) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("x.level");
+  g.set(5);
+  g.set(12);
+  g.set(3);
+  const MetricCell* cell = reg.find("x.level");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->value, 3);
+  EXPECT_EQ(cell->max, 12);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("x.wait", {10, 20, 40});
+  h.observe(1);    // <= 10
+  h.observe(10);   // <= 10 (bounds are inclusive upper limits)
+  h.observe(11);   // <= 20
+  h.observe(100);  // overflow
+  const MetricCell* cell = reg.find("x.wait");
+  ASSERT_NE(cell, nullptr);
+  ASSERT_EQ(cell->counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(cell->counts[0], 2);
+  EXPECT_EQ(cell->counts[1], 1);
+  EXPECT_EQ(cell->counts[2], 0);
+  EXPECT_EQ(cell->counts[3], 1);
+  EXPECT_EQ(cell->count, 4);
+  EXPECT_EQ(cell->sum, 122);
+  EXPECT_EQ(cell->max, 100);
+}
+
+TEST(Metrics, OccupancyBoundsAreQuartiles) {
+  EXPECT_EQ(occupancy_bounds(16), (std::vector<std::int64_t>{4, 8, 12, 16}));
+  // Tiny capacities deduplicate instead of emitting equal bounds.
+  const std::vector<std::int64_t> tiny = occupancy_bounds(2);
+  for (std::size_t i = 1; i < tiny.size(); ++i)
+    EXPECT_LT(tiny[i - 1], tiny[i]);
+  EXPECT_EQ(tiny.back(), 2);
+}
+
+TEST(Metrics, Pow2BoundsLadder) {
+  EXPECT_EQ(pow2_bounds(16, 4),
+            (std::vector<std::int64_t>{16, 32, 64, 128}));
+}
+
+TEST(Metrics, SnapshotTextIsSortedAndStable) {
+  MetricsRegistry reg;
+  // Register out of order; the snapshot must sort by ID so two registries
+  // built in different wiring orders still compare equal.
+  reg.counter("z.last").add(1);
+  reg.gauge("a.first").set(2);
+  const std::string snap = reg.snapshot_text();
+  EXPECT_LT(snap.find("a.first"), snap.find("z.last"));
+  EXPECT_EQ(snap, reg.snapshot_text());  // rendering is pure
+}
+
+TEST(Metrics, SnapshotJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("c").add(3);
+  reg.gauge("g").set(4);
+  reg.histogram("h", {10}).observe(5);
+  const json::Value v = reg.snapshot_json();
+  const json::Value* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->at("kind").as_string(), "counter");
+  EXPECT_EQ(c->at("value").as_int(), 3);
+  const json::Value* g = v.find("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->at("kind").as_string(), "gauge");
+  EXPECT_EQ(g->at("max").as_int(), 4);
+  const json::Value* h = v.find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->at("kind").as_string(), "histogram");
+  EXPECT_EQ(h->at("count").as_int(), 1);
+  ASSERT_EQ(h->at("buckets").as_array().size(), 2u);  // bound + overflow
+}
+
+}  // namespace
+}  // namespace acc::obs

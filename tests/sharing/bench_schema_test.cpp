@@ -9,6 +9,8 @@
 
 #include "app/fault_campaign.hpp"
 #include "app/sim_bench.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "sharing/bench_doc.hpp"
 
 namespace acc {
@@ -144,6 +146,101 @@ TEST(BenchSchema, SimDocDetectsWrongBenchId) {
   json::Value doc = small_sim_doc();
   EXPECT_FALSE(validate_bench_dse(doc).empty());
   EXPECT_FALSE(validate_bench_sim(small_dse_doc()).empty());
+}
+
+// --- RunReport (ISSUE 7: observability) ---------------------------------
+
+json::Value small_run_report() {
+  obs::MetricsRegistry metrics;
+  metrics.counter("x.total").add(3);
+  obs::RunReportInput in;
+  in.workload = "unit";
+  in.params["input_samples"] = 1024;
+  in.verdict["source_drops"] = 0;
+  in.cycles_run = 5000;
+  in.stepper = "wake-list";
+  obs::RunReportStream s;
+  s.id = 0;
+  s.name = "s0";
+  s.eta = 16;
+  s.blocks = 4;
+  s.service_observed = 120;
+  s.service_bound = 200;
+  s.spacing_observed = -1;  // exercises the placeholder margin arm
+  s.spacing_bound = 300;
+  in.streams.push_back(s);
+  return obs::run_report_doc(in, metrics, /*trace=*/nullptr);
+}
+
+TEST(BenchSchema, RunReportFromBuilderValidates) {
+  const std::vector<std::string> problems =
+      validate_run_report(small_run_report());
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(BenchSchema, RunReportDetectsMissingTopLevelKey) {
+  for (const char* key : {"version", "workload", "streams", "metrics",
+                          "trace", "verdict", "cycles_run"}) {
+    json::Value doc = small_run_report();
+    doc.as_object().erase(key);
+    const std::vector<std::string> problems = validate_run_report(doc);
+    ASSERT_FALSE(problems.empty()) << key;
+    EXPECT_NE(problems.front().find(key), std::string::npos) << key;
+  }
+}
+
+TEST(BenchSchema, RunReportDetectsWrongReportId) {
+  json::Value doc = small_run_report();
+  doc.as_object()["report"] = "sprint";
+  EXPECT_FALSE(validate_run_report(doc).empty());
+  // And a bench doc is not a run report at all.
+  EXPECT_FALSE(validate_run_report(small_sim_doc()).empty());
+}
+
+TEST(BenchSchema, RunReportDetectsUnknownStepper) {
+  json::Value doc = small_run_report();
+  doc.as_object()["stepper"] = "warp-drive";
+  const std::vector<std::string> problems = validate_run_report(doc);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("stepper"), std::string::npos);
+}
+
+TEST(BenchSchema, RunReportDetectsEmptyStreams) {
+  json::Value doc = small_run_report();
+  doc.as_object()["streams"].as_array().clear();
+  EXPECT_FALSE(validate_run_report(doc).empty());
+}
+
+TEST(BenchSchema, RunReportDetectsMissingStreamKey) {
+  for (const char* key : {"id", "stream", "eta", "blocks", "service",
+                          "spacing"}) {
+    json::Value doc = small_run_report();
+    doc.as_object()["streams"].as_array()[0].as_object().erase(key);
+    ASSERT_FALSE(validate_run_report(doc).empty()) << key;
+  }
+}
+
+TEST(BenchSchema, RunReportDetectsBrokenMarginArithmetic) {
+  // margin must equal bound - observed (or the full bound when nothing was
+  // observed). A drifting producer is a schema breach, not a style issue.
+  json::Value doc = small_run_report();
+  doc.as_object()["streams"].as_array()[0].as_object()["service"]
+      .as_object()["margin"] = 79;  // correct value is 200 - 120 = 80
+  const std::vector<std::string> problems = validate_run_report(doc);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("margin"), std::string::npos);
+
+  json::Value doc2 = small_run_report();
+  // Placeholder arm: observed = -1 must carry margin == bound.
+  doc2.as_object()["streams"].as_array()[0].as_object()["spacing"]
+      .as_object()["margin"] = 0;
+  EXPECT_FALSE(validate_run_report(doc2).empty());
+}
+
+TEST(BenchSchema, RunReportDetectsWrongTraceShape) {
+  json::Value doc = small_run_report();
+  doc.as_object()["trace"].as_object()["truncated"] = 1;  // bool, not int
+  EXPECT_FALSE(validate_run_report(doc).empty());
 }
 
 }  // namespace

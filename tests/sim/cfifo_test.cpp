@@ -87,5 +87,71 @@ TEST(CFifo, InvalidConstruction) {
   EXPECT_THROW(CFifo("t", 1, -1, 0), precondition_error);
 }
 
+// --- PR6 hot-path backfill: the O(1) guards at exact deadlines ----------
+
+TEST(CFifo, CanPopFlipsExactlyAtVisibilityDeadline) {
+  // can_pop is the head-deadline comparison (<=, not <): the sample is
+  // poppable AT its visibility cycle, one cycle earlier it is not.
+  CFifo f("t", 8, /*rlag=*/3, /*wlag=*/0);
+  f.push(10, 5);
+  EXPECT_EQ(f.when_fill_visible(1, 10), 13);
+  EXPECT_FALSE(f.can_pop(12));
+  EXPECT_TRUE(f.can_pop(13));
+  EXPECT_EQ(f.pop(13), 5u);
+}
+
+TEST(CFifo, CanPopAtSameCycleWithZeroLag) {
+  CFifo f("t", 4, 0, 0);
+  EXPECT_FALSE(f.can_pop(0));
+  f.push(0, 7);
+  EXPECT_TRUE(f.can_pop(0));
+}
+
+TEST(CFifo, CanPushFlipsExactlyAtCreditDeadline) {
+  // The freed slot becomes writer-visible exactly wlag cycles after the
+  // pop, boundary inclusive.
+  CFifo f("t", 1, /*rlag=*/0, /*wlag=*/4);
+  f.push(0, 1);
+  EXPECT_FALSE(f.can_push(1));
+  (void)f.pop(2);
+  EXPECT_EQ(f.when_space_visible(1, 2), 6);
+  EXPECT_FALSE(f.can_push(5));
+  EXPECT_TRUE(f.can_push(6));
+}
+
+TEST(CFifo, WhenPredictionsAgreeWithGuardsAtEveryCycle) {
+  // The event-horizon stepper trusts when_* to be EXACT: stepping the clock
+  // cycle by cycle, the guard must flip precisely at the predicted cycle.
+  CFifo f("t", 2, /*rlag=*/5, /*wlag=*/3);
+  f.push(0, 1);
+  f.push(1, 2);
+  const Cycle fill_at = f.when_fill_visible(2, 1);
+  for (Cycle now = 1; now < fill_at + 2; ++now)
+    EXPECT_EQ(f.fill_visible(now) >= 2, now >= fill_at) << "cycle " << now;
+  (void)f.pop(fill_at);
+  const Cycle space_at = f.when_space_visible(1, fill_at);
+  for (Cycle now = fill_at; now < space_at + 2; ++now)
+    EXPECT_EQ(f.can_push(now), now >= space_at) << "cycle " << now;
+}
+
+TEST(CFifo, MetricsFollowPushAndPop) {
+  obs::MetricsRegistry reg;
+  CFifo f("q", 4, 0, 0);
+  f.set_metrics(&reg);
+  f.push(0, 1);
+  f.push(1, 2);
+  (void)f.pop(2);
+  const obs::MetricCell* pushed = reg.find("cfifo.q.pushed");
+  const obs::MetricCell* popped = reg.find("cfifo.q.popped");
+  const obs::MetricCell* occ = reg.find("cfifo.q.occupancy");
+  ASSERT_NE(pushed, nullptr);
+  ASSERT_NE(popped, nullptr);
+  ASSERT_NE(occ, nullptr);
+  EXPECT_EQ(pushed->value, 2);
+  EXPECT_EQ(popped->value, 1);
+  EXPECT_EQ(occ->value, 1);  // gauge: occupancy after the pop
+  EXPECT_EQ(occ->max, 2);    // peak occupancy seen
+}
+
 }  // namespace
 }  // namespace acc::sim

@@ -118,6 +118,96 @@ TEST(DualRing, DataAndCreditIndependent) {
   EXPECT_EQ(dr.credit().drain(0).size(), 1u);
 }
 
+// --- PR6 hot-path backfill: rotation without modulo ---------------------
+//
+// slot_at replaces `(node + offset) % n` with a conditional subtract; the
+// wrap at node 0 and the offset wrap after each full revolution are the
+// edges the subtract must get right.
+
+/// Ticks from injection until the message surfaces at `dst`.
+int delivery_ticks(Ring& ring, std::int32_t src, std::int32_t dst) {
+  RingMsg m;
+  m.dst = dst;
+  m.payload = 77;
+  EXPECT_TRUE(ring.try_inject(src, m));
+  for (int t = 1; t <= 4 * ring.nodes(); ++t) {
+    ring.tick();
+    if (!ring.drain(dst).empty()) return t;
+  }
+  ADD_FAILURE() << "message " << src << "->" << dst << " never delivered";
+  return -1;
+}
+
+TEST(Ring, WrapAndNonWrapPathsOfEqualDistanceMatch) {
+  // 0->3 stays inside the index range; 4->1 crosses the node-0 wrap. Both
+  // are 3 hops clockwise and must take identical time.
+  Ring inner(6, true);
+  Ring wrapped(6, true);
+  EXPECT_EQ(delivery_ticks(inner, 0, 3), delivery_ticks(wrapped, 4, 1));
+}
+
+TEST(Ring, CounterclockwiseWrapDelivers) {
+  // The credit ring rotates the other way: 0->5 is ONE hop counterclockwise
+  // on a 6-node ring, same as 5->4.
+  Ring a(6, false);
+  Ring b(6, false);
+  EXPECT_EQ(delivery_ticks(a, 0, 5), delivery_ticks(b, 5, 4));
+}
+
+TEST(Ring, OffsetWrapsCleanlyOverManyRevolutions) {
+  // Hundreds of revolutions move the rotation offset through every
+  // wraparound; delivery from every node must still land at the right
+  // destination with unchanged latency.
+  Ring ring(7, true);
+  RingMsg spin;
+  spin.dst = 1;
+  ASSERT_TRUE(ring.try_inject(0, spin));
+  for (int warm = 0; warm < 1000; ++warm) ring.tick();
+  (void)ring.drain(1);
+
+  const int fresh_latency = [] {
+    Ring probe(7, true);
+    return delivery_ticks(probe, 2, 6);
+  }();
+  for (std::int32_t src = 0; src < 7; ++src) {
+    const auto dst = static_cast<std::int32_t>((src + 4) % 7);
+    EXPECT_EQ(delivery_ticks(ring, src, dst), fresh_latency)
+        << "src " << src << " after 1000 warm ticks";
+  }
+}
+
+TEST(Ring, FullRevolutionToSelfAdjacentPredecessor) {
+  // dst one node BEHIND the rotation direction costs a near-full
+  // revolution — the longest path and the one that exercises every wrap.
+  Ring ring(5, true);
+  const int long_way = delivery_ticks(ring, 2, 1);
+  const int short_way = [] {
+    Ring probe(5, true);
+    return delivery_ticks(probe, 2, 3);
+  }();
+  EXPECT_EQ(long_way - short_way, 3);  // 4 hops vs 1 hop
+}
+
+TEST(Ring, MetricsCountInjectDeliverAndHops) {
+  obs::MetricsRegistry reg;
+  Ring ring(4, true);
+  ring.set_metrics(&reg, "ring.t");
+  RingMsg m;
+  m.dst = 2;
+  ASSERT_TRUE(ring.try_inject(0, m));
+  for (int t = 0; t < 4; ++t) ring.tick();
+  ASSERT_EQ(ring.drain(2).size(), 1u);
+  const obs::MetricCell* injected = reg.find("ring.t.injected");
+  const obs::MetricCell* delivered = reg.find("ring.t.delivered");
+  const obs::MetricCell* hops = reg.find("ring.t.hops");
+  ASSERT_NE(injected, nullptr);
+  ASSERT_NE(delivered, nullptr);
+  ASSERT_NE(hops, nullptr);
+  EXPECT_EQ(injected->value, 1);
+  EXPECT_EQ(delivered->value, 1);
+  EXPECT_EQ(hops->value, 2);  // 0->1->2: one count per occupied-slot hop
+}
+
 TEST(Flit, PackUnpackRoundTrip) {
   const CQ16 s{Q16::from_double(1.2345), Q16::from_double(-0.777)};
   EXPECT_EQ(unpack_sample(pack_sample(s)), s);

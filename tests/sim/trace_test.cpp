@@ -2,10 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <numeric>
+#include <optional>
+#include <string>
 
 #include "accel/kernel.hpp"
+#include "common/json.hpp"
+#include "obs/chrome_trace.hpp"
 #include "sim/gateway.hpp"
 #include "sim/proc_tile.hpp"
 #include "sim/system.hpp"
@@ -129,6 +134,120 @@ TEST(TraceIntegration, GatewayProtocolOrdering) {
   // Global ordering is monotone in cycles.
   for (std::size_t i = 1; i < log.events().size(); ++i)
     EXPECT_LE(log.events()[i - 1].cycle, log.events()[i].cycle);
+}
+
+// --- Chrome trace-event exporter ---------------------------------------
+
+TraceLog sample_log() {
+  TraceLog log;
+  log.record(10, "entry", "admit", 0);
+  log.record(12, "entry", "reconfig.start", 0);
+  log.record(12, "acc", "ctx.switch", 0);
+  log.record(32, "entry", "reconfig.done", 0);
+  log.record(80, "exit", "block.delivered", 0);
+  log.record(82, "entry", "block.done", 0);
+  log.record(90, "entry", "fault.config_bus", 7);
+  return log;
+}
+
+TEST(ChromeTrace, SerializedFormIsWellFormedJson) {
+  const TraceLog log = sample_log();
+  const std::string text = obs::chrome_trace_json(log);
+  const std::optional<json::Value> parsed = json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_NE(parsed->find("traceEvents"), nullptr);
+  EXPECT_FALSE(parsed->at("traceEvents").as_array().empty());
+}
+
+TEST(ChromeTrace, EveryComponentGetsANamedTrack) {
+  const json::Value doc = obs::chrome_trace_doc(sample_log());
+  std::map<std::int64_t, std::string> track_names;
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "M" &&
+        e.at("name").as_string() == "thread_name") {
+      track_names[e.at("tid").as_int()] = e.at("args").at("name").as_string();
+    }
+  }
+  // tid 0 is the counters track; entry/acc/exit each get their own.
+  EXPECT_EQ(track_names.at(0), "counters");
+  std::map<std::string, int> seen;
+  for (const auto& [tid, name] : track_names) ++seen[name];
+  EXPECT_EQ(seen.at("entry"), 1);
+  EXPECT_EQ(seen.at("acc"), 1);
+  EXPECT_EQ(seen.at("exit"), 1);
+}
+
+TEST(ChromeTrace, InstantsAreMonotonePerTrack) {
+  const json::Value doc = obs::chrome_trace_doc(sample_log());
+  std::map<std::int64_t, std::int64_t> last_ts;
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "i") continue;
+    const std::int64_t tid = e.at("tid").as_int();
+    const std::int64_t ts = e.at("ts").as_int();
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) EXPECT_LE(it->second, ts);
+    last_ts[tid] = ts;
+  }
+  EXPECT_FALSE(last_ts.empty());
+}
+
+TEST(ChromeTrace, ReconfigWindowBecomesDurationEvent) {
+  const json::Value doc = obs::chrome_trace_doc(sample_log());
+  bool found = false;
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "X") continue;
+    found = true;
+    EXPECT_EQ(e.at("name").as_string(), "reconfig");
+    EXPECT_EQ(e.at("ts").as_int(), 12);
+    EXPECT_EQ(e.at("dur").as_int(), 20);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChromeTrace, CountersTrackBlocksAndFaults) {
+  const json::Value doc = obs::chrome_trace_doc(sample_log());
+  std::int64_t blocks = 0;
+  std::int64_t faults = 0;
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() != "C") continue;
+    if (e.at("name").as_string() == "blocks.done")
+      blocks = e.at("args").at("value").as_int();
+    if (e.at("name").as_string() == "faults")
+      faults = e.at("args").at("value").as_int();
+  }
+  EXPECT_EQ(blocks, 1);
+  EXPECT_EQ(faults, 1);
+}
+
+TEST(ChromeTrace, TruncatedLogEmitsGlobalTruncationInstant) {
+  // PR6 backfill + satellite fix: the CSV export has carried a truncation
+  // marker row since the TraceLog cap landed; the Chrome export must mark a
+  // clipped trace the same way or a Perfetto user would read a partial
+  // trace as complete.
+  TraceLog log(2);
+  log.record(1, "a", "x", 0);
+  log.record(4, "a", "x", 0);
+  log.record(9, "a", "x", 0);
+  ASSERT_TRUE(log.truncated());
+  const json::Value doc = obs::chrome_trace_doc(log);
+  bool found = false;
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    if (e.at("name").as_string() != "trace.truncated") continue;
+    found = true;
+    EXPECT_EQ(e.at("ph").as_string(), "i");
+    EXPECT_EQ(e.at("s").as_string(), "g");  // global: spans every track
+    // Stamped at the last RETAINED cycle (the clip point), dropped count in
+    // args — mirroring the CSV marker row exactly.
+    EXPECT_EQ(e.at("ts").as_int(), 4);
+    EXPECT_EQ(e.at("args").at("dropped").as_int(), 1);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ChromeTrace, CompleteLogHasNoTruncationEvent) {
+  const json::Value doc = obs::chrome_trace_doc(sample_log());
+  for (const json::Value& e : doc.at("traceEvents").as_array())
+    EXPECT_NE(e.at("name").as_string(), "trace.truncated");
 }
 
 }  // namespace
