@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "accel/fir.hpp"
+#include "accel/mixer.hpp"
 #include "app/pal_report.hpp"
 #include "app/sim_bench.hpp"
 #include "common/bench_schema.hpp"
@@ -186,6 +188,71 @@ BENCHMARK(BM_SimulatorCyclesPerSecond)
     ->Arg(2)
     ->ArgName("stepper");
 
+/// Kernel data plane (ISSUE 8): per-sample push() vs the SoA
+/// process_block() path on the PAL decoder's three kernels. Arg = block
+/// size; items/sec = input samples/sec, so the block/scalar ratio is the
+/// batching win of restructuring the maths for autovectorization (the two
+/// paths are bit-identical — kernel_block_test.cpp pins that).
+void bench_kernel(benchmark::State& state, accel::StreamKernel& k,
+                  bool block_path) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<CQ16> in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deterministic full-scale-ish stimulus; any waveform works, the
+    // kernels are data-independent in control flow.
+    const double t = static_cast<double>(i);
+    in[i] = CQ16{Q16::from_double(0.4 * std::sin(0.011 * t)),
+                 Q16::from_double(0.4 * std::cos(0.017 * t))};
+  }
+  std::vector<CQ16> out(n);
+  std::vector<std::uint8_t> counts(n);
+  std::vector<CQ16> scratch;
+  scratch.reserve(n);
+  for (auto _ : state) {
+    if (block_path) {
+      benchmark::DoNotOptimize(k.process_block(in, out, counts.data()));
+    } else {
+      scratch.clear();
+      for (const CQ16 s : in) k.push(s, scratch);
+      benchmark::DoNotOptimize(scratch.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_KernelFirScalar(benchmark::State& state) {
+  accel::DecimatingFir k(
+      accel::quantize_taps(accel::design_lowpass(33, 0.06)), 8);
+  bench_kernel(state, k, /*block_path=*/false);
+}
+void BM_KernelFirBlock(benchmark::State& state) {
+  accel::DecimatingFir k(
+      accel::quantize_taps(accel::design_lowpass(33, 0.06)), 8);
+  bench_kernel(state, k, /*block_path=*/true);
+}
+void BM_KernelMixerScalar(benchmark::State& state) {
+  accel::NcoMixer k(accel::NcoMixer::freq_from_normalized(0.21));
+  bench_kernel(state, k, /*block_path=*/false);
+}
+void BM_KernelMixerBlock(benchmark::State& state) {
+  accel::NcoMixer k(accel::NcoMixer::freq_from_normalized(0.21));
+  bench_kernel(state, k, /*block_path=*/true);
+}
+void BM_KernelFmDemodScalar(benchmark::State& state) {
+  accel::FmDiscriminator k;
+  bench_kernel(state, k, /*block_path=*/false);
+}
+void BM_KernelFmDemodBlock(benchmark::State& state) {
+  accel::FmDiscriminator k;
+  bench_kernel(state, k, /*block_path=*/true);
+}
+BENCHMARK(BM_KernelFirScalar)->Arg(16)->Arg(256)->ArgName("block");
+BENCHMARK(BM_KernelFirBlock)->Arg(16)->Arg(256)->ArgName("block");
+BENCHMARK(BM_KernelMixerScalar)->Arg(16)->Arg(256)->ArgName("block");
+BENCHMARK(BM_KernelMixerBlock)->Arg(16)->Arg(256)->ArgName("block");
+BENCHMARK(BM_KernelFmDemodScalar)->Arg(16)->Arg(256)->ArgName("block");
+BENCHMARK(BM_KernelFmDemodBlock)->Arg(16)->Arg(256)->ArgName("block");
+
 /// Machine-readable perf trajectory of the DSE engine: BENCH_dse.json with
 /// wall time, simulation count, cache hit rate and pruning wins for jobs=1
 /// and jobs=N (--jobs, default 4). The workload and document builder live
@@ -222,34 +289,44 @@ void emit_dse_json(int jobs, const std::string& path) {
 }
 
 /// Machine-readable perf trajectory of the SIMULATOR: BENCH_sim.json with
-/// cycles/second of the dense and event-horizon steppers on the full PAL
-/// decoder, plus the outcome digest proving they agreed. Returns false on a
-/// schema violation, a dense/event divergence, a checksum mismatch or an
-/// event run that failed to tick fewer cycles than dense — the `sim_perf`
-/// ctest entry (label "perf") fails on those, never on the speedup itself,
-/// so CI stays free of machine-load flake while still pinning correctness.
+/// cycles/second of all three steppers — dense, global-horizon ("event")
+/// and wake-list — on the full PAL decoder, plus the outcome digest
+/// proving they agreed. Returns false on a schema violation, a stepper
+/// divergence, a checksum mismatch or an event-driven run that failed to
+/// tick fewer cycles than dense — the `sim_perf` ctest entry (label
+/// "perf") fails on those, never on the speedup itself, so CI stays free
+/// of machine-load flake while still pinning correctness.
 bool emit_sim_json(bool fast, const std::string& path) {
-  const app::PalSimConfig pal = app::sim_bench_pal_config(fast);
+  app::PalSimConfig pal = app::sim_bench_pal_config(fast);
+  // One synthesis serves all three stepper runs (the waveform is a pure
+  // function of the scenario); sim_bench_run keeps it off the wall clock.
+  const std::vector<sim::Flit> input = app::synthesize_pal_input(pal);
+  pal.prebuilt_input = &input;
   const app::SimBenchRun dense =
       app::sim_bench_run(pal, sim::StepperKind::kDense);
   const app::SimBenchRun event =
+      app::sim_bench_run(pal, sim::StepperKind::kGlobalHorizon);
+  const app::SimBenchRun wake =
       app::sim_bench_run(pal, sim::StepperKind::kWakeList);
-  const json::Value doc = app::sim_bench_doc(pal, dense, event);
+  const json::Value doc = app::sim_bench_doc(pal, dense, event, wake);
 
   std::vector<std::string> problems = validate_bench_sim(doc);
-  // Semantic gates beyond the schema: the event stepper must actually skip
-  // (strictly fewer ticked cycles than dense) and the audio must be
-  // bit-identical — both machine-load independent, so safe to fail CI on.
-  if (event.dense_ticks >= dense.dense_ticks) {
-    problems.push_back("event stepper ticked " +
-                       std::to_string(event.dense_ticks) +
-                       " cycles, expected fewer than dense's " +
-                       std::to_string(dense.dense_ticks));
-  }
-  if (event.audio_checksum != dense.audio_checksum) {
-    problems.push_back("audio checksum mismatch: dense " +
-                       std::to_string(dense.audio_checksum) + " vs event " +
-                       std::to_string(event.audio_checksum));
+  // Semantic gates beyond the schema: the event-driven steppers must
+  // actually skip (strictly fewer ticked cycles than dense) and the audio
+  // must be bit-identical — both machine-load independent, so safe to
+  // fail CI on.
+  for (const app::SimBenchRun* r : {&event, &wake}) {
+    if (r->dense_ticks >= dense.dense_ticks) {
+      problems.push_back(r->mode + " stepper ticked " +
+                         std::to_string(r->dense_ticks) +
+                         " cycles, expected fewer than dense's " +
+                         std::to_string(dense.dense_ticks));
+    }
+    if (r->audio_checksum != dense.audio_checksum) {
+      problems.push_back("audio checksum mismatch: dense " +
+                         std::to_string(dense.audio_checksum) + " vs " +
+                         r->mode + " " + std::to_string(r->audio_checksum));
+    }
   }
   if (!problems.empty()) {
     std::cout << "ERROR: BENCH_sim.json violates its schema:\n";
@@ -265,17 +342,26 @@ bool emit_sim_json(bool fast, const std::string& path) {
     std::cout << "WARNING: could not write " << path << "\n";
   for (const json::Value& r : doc.at("runs").as_array()) {
     std::cout << "  pal decoder, " << r.at("mode").as_string() << ": "
-              << r.at("wall_ms").as_double() << " ms, "
-              << r.at("cycles_per_sec").as_double() << " cycles/s ("
-              << r.at("dense_ticks").as_int() << " dense ticks, "
+              << r.at("wall_ms").as_double() << " ms, ";
+    if (r.at("cycles_per_sec").is_null())
+      std::cout << "n/a cycles/s (";
+    else
+      std::cout << r.at("cycles_per_sec").as_double() << " cycles/s (";
+    std::cout << r.at("dense_ticks").as_int() << " dense ticks, "
               << r.at("skipped_cycles").as_int() << " cycles skipped in "
               << r.at("skips").as_int() << " jumps, "
               << r.at("component_ticks").as_int() << " component ticks, "
               << r.at("horizon_queries").as_int() << " horizon queries, "
-              << r.at("wakes").as_int() << " wakes)\n";
+              << r.at("wakes").as_int() << " wakes, "
+              << r.at("batch_runs").as_int() << " batch runs moving "
+              << r.at("batch_tokens").as_int() << " tokens)\n";
   }
-  std::cout << "  event/dense speedup: " << doc.at("speedup").as_double()
-            << ", outcome "
+  std::cout << "  wake_list/dense speedup: ";
+  if (doc.at("speedup").is_null())
+    std::cout << "n/a";
+  else
+    std::cout << doc.at("speedup").as_double();
+  std::cout << ", outcome "
             << (doc.at("equivalent").as_bool() ? "identical" : "DIVERGED")
             << "\n";
   return problems.empty();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/fixed_point.hpp"
 
@@ -44,6 +45,21 @@ struct VectorResult {
 /// accumulated angle and the magnitude.
 [[nodiscard]] VectorResult cordic_vector(Q16 x, Q16 y,
                                          int iterations = kCordicIterations);
+
+/// Block rotation: out_x[i], out_y[i] = cordic_rotate(x[i], y[i], angle[i]),
+/// bit-identical to the scalar call per element. The micro-rotation loop is
+/// restructured SoA (iteration outer, element inner) with a branchless
+/// +-1 direction multiplier so the inner loops autovectorize; elements are
+/// independent, so the cross-element reordering cannot change any result.
+void cordic_rotate_block(std::span<const Q16> x, std::span<const Q16> y,
+                         std::span<const Q16> angle, Q16* out_x, Q16* out_y,
+                         int iterations = kCordicIterations);
+
+/// Block vectoring: out_mag[i] / out_angle[i] = cordic_vector(x[i], y[i]),
+/// bit-identical to the scalar call per element (same SoA restructuring).
+void cordic_vector_block(std::span<const Q16> x, std::span<const Q16> y,
+                         Q16* out_mag, Q16* out_angle,
+                         int iterations = kCordicIterations);
 
 /// Wrap an angle (radians, as a plain double) into (-pi, pi] and quantize.
 [[nodiscard]] Q16 q16_wrap_angle(double radians);

@@ -1,5 +1,6 @@
 #include "accel/fir.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -41,6 +42,9 @@ DecimatingFir::DecimatingFir(std::vector<Q16> taps, std::int32_t decimation,
       delay_(taps_.size()) {
   ACC_EXPECTS(!taps_.empty());
   ACC_EXPECTS(decimation_ >= 1);
+  rtaps_.reserve(taps_.size());
+  for (std::size_t j = taps_.size(); j-- > 0;)
+    rtaps_.push_back(taps_[j].raw());
 }
 
 CQ16 DecimatingFir::filter_now() const {
@@ -68,6 +72,77 @@ void DecimatingFir::push(CQ16 in, std::vector<CQ16>& out) {
     phase_ = 0;
     out.push_back(filter_now());
   }
+}
+
+std::size_t DecimatingFir::process_block(std::span<const CQ16> in,
+                                         std::span<CQ16> out,
+                                         std::uint8_t* counts) {
+  const std::size_t m = in.size();
+  if (m == 0) return 0;
+  const std::size_t nt = taps_.size();
+  const auto nd = static_cast<std::int32_t>(delay_.size());
+  // Linearize: hist[0 .. nt-2] = the nt-1 most recent delay-line samples in
+  // chronological order, hist[nt-1 + k] = in[k]. The window for in[k] is
+  // then the contiguous run hist[k .. k+nt-1], newest last.
+  hist_re_.resize(nt - 1 + m);
+  hist_im_.resize(nt - 1 + m);
+  for (std::size_t i = 0; i + 1 < nt; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        (head_ - static_cast<std::int32_t>(i) + nd) % nd);
+    hist_re_[nt - 2 - i] = delay_[idx].re.raw();
+    hist_im_[nt - 2 - i] = delay_[idx].im.raw();
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    hist_re_[nt - 1 + k] = in[k].re.raw();
+    hist_im_[nt - 1 + k] = in[k].im.raw();
+  }
+
+  std::size_t produced = 0;
+  std::int32_t ph = phase_;
+  for (std::size_t k = 0; k < m; ++k) {
+    std::uint8_t c = 0;
+    if (++ph >= decimation_) {
+      ph = 0;
+      // Straight dot product over the contiguous window against the
+      // reversed tap ROM — sum_j rtaps[j] * hist[k + j] equals filter_now's
+      // sum_i taps[i] * x[n - i]. The summation order differs from the
+      // scalar path, but every product fits in ~2^47 (Q16 tap * Q16 sample)
+      // and the tap count is small, so no intermediate sum can leave int64
+      // range in either order: integer addition is then exactly
+      // associative and both orders produce the same accumulator.
+      std::int64_t acc_re = 0;
+      std::int64_t acc_im = 0;
+      const std::int32_t* wr = hist_re_.data() + k;
+      const std::int32_t* wi = hist_im_.data() + k;
+      for (std::size_t j = 0; j < nt; ++j) {
+        const std::int64_t cj = rtaps_[j];
+        acc_re += cj * wr[j];
+        acc_im += cj * wi[j];
+      }
+      ACC_CHECK_MSG(produced < out.size(),
+                    "process_block output span too small");
+      out[produced++] =
+          CQ16{Q16::from_raw(static_cast<std::int32_t>(acc_re >> 16)),
+               Q16::from_raw(static_cast<std::int32_t>(acc_im >> 16))};
+      c = 1;
+    }
+    if (counts != nullptr) counts[k] = c;
+  }
+  phase_ = ph;
+
+  // Replay the delay-line state m pushes would leave behind: the head
+  // advances m slots and the last min(nd, m) inputs land at the indices
+  // push() would have written them to; older slots keep their contents.
+  const auto new_head = static_cast<std::int32_t>(
+      (static_cast<std::size_t>(head_) + m) % static_cast<std::size_t>(nd));
+  const std::size_t keep = std::min(static_cast<std::size_t>(nd), m);
+  for (std::size_t i = 0; i < keep; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        (new_head - static_cast<std::int32_t>(i) + nd) % nd);
+    delay_[idx] = in[m - 1 - i];
+  }
+  head_ = new_head;
+  return produced;
 }
 
 std::vector<std::int32_t> DecimatingFir::save_state() const {

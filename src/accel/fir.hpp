@@ -27,6 +27,13 @@ class DecimatingFir final : public StreamKernel {
                 std::string name = "fir");
 
   void push(CQ16 in, std::vector<CQ16>& out) override;
+  /// SoA block path: linearizes the circular delay line plus the block into
+  /// contiguous per-component arrays, then computes each decimated output
+  /// as a straight dot product against the reversed tap ROM — the form the
+  /// compiler autovectorizes. Bit-identical to push() per sample (see .cpp
+  /// for the no-overflow argument that makes the MAC order-insensitive).
+  std::size_t process_block(std::span<const CQ16> in, std::span<CQ16> out,
+                            std::uint8_t* counts = nullptr) override;
   [[nodiscard]] std::vector<std::int32_t> save_state() const override;
   void restore_state(std::span<const std::int32_t> state) override;
   void reset() override;
@@ -44,10 +51,18 @@ class DecimatingFir final : public StreamKernel {
   std::int32_t decimation_;
   std::string name_;
 
+  // Reversed raw tap ROM (rtaps_[j] = taps_[n-1-j]): lets the block path's
+  // dot product walk the linearized window forward. Static configuration.
+  std::vector<std::int32_t> rtaps_;
+
   // Mutable state: circular delay line + write index + decimation phase.
   std::vector<CQ16> delay_;
   std::int32_t head_ = 0;
   std::int32_t phase_ = 0;
+
+  // Block-path scratch (reused across calls; not part of saved state).
+  std::vector<std::int32_t> hist_re_;
+  std::vector<std::int32_t> hist_im_;
 };
 
 }  // namespace acc::accel

@@ -28,6 +28,24 @@ class StreamKernel {
   /// Process one input sample, appending any produced samples to `out`.
   virtual void push(CQ16 in, std::vector<CQ16>& out) = 0;
 
+  /// Process a whole block: BIT-IDENTICAL to pushing in[0..n) one at a
+  /// time, in order, including the final mutable state (save_state() after
+  /// a block equals save_state() after the equivalent pushes — the golden
+  /// fixtures in kernel_block_test.cpp pin this). Outputs are written to
+  /// `out`, which must have room for the worst case (one output per input
+  /// for every kernel in this repo); the return value is the number
+  /// written. When `counts` is non-null, counts[i] receives the number of
+  /// outputs produced by in[i] (0 or 1 here) — AcceleratorTile needs the
+  /// per-input attribution to replay its per-sample forwarding exactly.
+  ///
+  /// The default walks push() per sample. Overrides restructure the maths
+  /// into SoA passes over the block (separate real/imaginary/phase arrays,
+  /// branchless inner loops) so the compiler can autovectorize; they must
+  /// preserve per-element operation order bit-for-bit.
+  virtual std::size_t process_block(std::span<const CQ16> in,
+                                    std::span<CQ16> out,
+                                    std::uint8_t* counts = nullptr);
+
   /// Serialize the complete mutable state (delay lines, phase accumulators,
   /// decimation counters) as raw 32-bit words — what the configuration bus
   /// would transfer on a context switch.

@@ -36,6 +36,31 @@ void NcoMixer::push(CQ16 in, std::vector<CQ16>& out) {
   out.push_back(CQ16{r.x, r.y});
 }
 
+std::size_t NcoMixer::process_block(std::span<const CQ16> in,
+                                    std::span<CQ16> out,
+                                    std::uint8_t* counts) {
+  const std::size_t n = in.size();
+  ACC_CHECK_MSG(out.size() >= n, "process_block output span too small");
+  std::vector<Q16> xs(n);
+  std::vector<Q16> ys(n);
+  std::vector<Q16> angles(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    phase_ = static_cast<std::int32_t>(static_cast<std::uint32_t>(phase_) +
+                                       static_cast<std::uint32_t>(step_));
+    angles[e] = turns_to_radians(phase_);
+    xs[e] = in[e].re;
+    ys[e] = in[e].im;
+  }
+  std::vector<Q16> ox(n);
+  std::vector<Q16> oy(n);
+  cordic_rotate_block(xs, ys, angles, ox.data(), oy.data());
+  for (std::size_t e = 0; e < n; ++e) {
+    out[e] = CQ16{ox[e], oy[e]};
+    if (counts != nullptr) counts[e] = 1;
+  }
+  return n;
+}
+
 std::vector<std::int32_t> NcoMixer::save_state() const { return {phase_}; }
 
 void NcoMixer::restore_state(std::span<const std::int32_t> state) {
@@ -62,6 +87,29 @@ void AmDetector::push(CQ16 in, std::vector<CQ16>& out) {
   out.push_back(CQ16{Q16::from_raw(mag - dc_raw_), Q16{}});
 }
 
+std::size_t AmDetector::process_block(std::span<const CQ16> in,
+                                      std::span<CQ16> out,
+                                      std::uint8_t* counts) {
+  const std::size_t n = in.size();
+  ACC_CHECK_MSG(out.size() >= n, "process_block output span too small");
+  std::vector<Q16> xs(n);
+  std::vector<Q16> ys(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    xs[e] = in[e].re;
+    ys[e] = in[e].im;
+  }
+  std::vector<Q16> mags(n);
+  std::vector<Q16> angles(n);
+  cordic_vector_block(xs, ys, mags.data(), angles.data());
+  for (std::size_t e = 0; e < n; ++e) {
+    const std::int32_t mag = mags[e].raw();
+    dc_raw_ += (mag - dc_raw_) >> dc_shift_;
+    out[e] = CQ16{Q16::from_raw(mag - dc_raw_), Q16{}};
+    if (counts != nullptr) counts[e] = 1;
+  }
+  return n;
+}
+
 std::vector<std::int32_t> AmDetector::save_state() const { return {dc_raw_}; }
 
 void AmDetector::restore_state(std::span<const std::int32_t> state) {
@@ -86,6 +134,31 @@ void FmDiscriminator::push(CQ16 in, std::vector<CQ16>& out) {
   // Normalize radians to (-1, 1] so full-scale output is +-Nyquist.
   const double norm = v.angle.to_double() / M_PI;
   out.push_back(CQ16{Q16::from_double(norm), Q16{}});
+}
+
+std::size_t FmDiscriminator::process_block(std::span<const CQ16> in,
+                                           std::span<CQ16> out,
+                                           std::uint8_t* counts) {
+  const std::size_t n = in.size();
+  ACC_CHECK_MSG(out.size() >= n, "process_block output span too small");
+  std::vector<Q16> dres(n);
+  std::vector<Q16> dims(n);
+  // Conjugate products, chained through prev_ exactly as push() would be
+  // (saturating Q16 ops, same per-element operation order).
+  for (std::size_t e = 0; e < n; ++e) {
+    dres[e] = in[e].re * prev_.re + in[e].im * prev_.im;
+    dims[e] = in[e].im * prev_.re - in[e].re * prev_.im;
+    prev_ = in[e];
+  }
+  std::vector<Q16> mags(n);
+  std::vector<Q16> angles(n);
+  cordic_vector_block(dres, dims, mags.data(), angles.data());
+  for (std::size_t e = 0; e < n; ++e) {
+    const double norm = angles[e].to_double() / M_PI;
+    out[e] = CQ16{Q16::from_double(norm), Q16{}};
+    if (counts != nullptr) counts[e] = 1;
+  }
+  return n;
 }
 
 std::vector<std::int32_t> FmDiscriminator::save_state() const {

@@ -23,6 +23,10 @@ class NcoMixer final : public StreamKernel {
   [[nodiscard]] static std::int32_t freq_from_normalized(double cycles_per_sample);
 
   void push(CQ16 in, std::vector<CQ16>& out) override;
+  /// Block path: precompute the wrapped phase sequence (element-local
+  /// int32 adds), then one SoA block rotation. Bit-identical to push().
+  std::size_t process_block(std::span<const CQ16> in, std::span<CQ16> out,
+                            std::uint8_t* counts = nullptr) override;
   [[nodiscard]] std::vector<std::int32_t> save_state() const override;
   void restore_state(std::span<const std::int32_t> state) override;
   void reset() override;
@@ -50,6 +54,10 @@ class AmDetector final : public StreamKernel {
   explicit AmDetector(int dc_shift = 6, std::string name = "amdet");
 
   void push(CQ16 in, std::vector<CQ16>& out) override;
+  /// Block path: one SoA block vectoring pass, then the (inherently
+  /// sequential, but cheap) DC-tracker recurrence. Bit-identical to push().
+  std::size_t process_block(std::span<const CQ16> in, std::span<CQ16> out,
+                            std::uint8_t* counts = nullptr) override;
   [[nodiscard]] std::vector<std::int32_t> save_state() const override;
   void restore_state(std::span<const std::int32_t> state) override;
   void reset() override;
@@ -73,6 +81,11 @@ class FmDiscriminator final : public StreamKernel {
   explicit FmDiscriminator(std::string name = "fmdemod");
 
   void push(CQ16 in, std::vector<CQ16>& out) override;
+  /// Block path: the prev_-chained conjugate products run as an
+  /// element-local sequential pass, then one SoA block vectoring pass and
+  /// the normalization epilogue. Bit-identical to push().
+  std::size_t process_block(std::span<const CQ16> in, std::span<CQ16> out,
+                            std::uint8_t* counts = nullptr) override;
   [[nodiscard]] std::vector<std::int32_t> save_state() const override;
   void restore_state(std::span<const std::int32_t> state) override;
   void reset() override;

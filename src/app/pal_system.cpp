@@ -50,9 +50,11 @@ void solve_blocks(const PalSimConfig& cfg, const sharing::SharedSystemSpec& spec
   *eta2 = etas[2];
 }
 
+}  // namespace
+
 /// Synthesize the broadcast and quantize it to flits (shared by both the
 /// shared-chain and the dedicated-baseline assemblies).
-std::vector<sim::Flit> synthesize_flits(const PalSimConfig& cfg) {
+std::vector<sim::Flit> synthesize_pal_input(const PalSimConfig& cfg) {
   radio::PalStereoConfig pal;
   pal.sample_rate = cfg.sample_rate;
   pal.carrier1_hz = cfg.carrier1_hz;
@@ -72,8 +74,6 @@ std::vector<sim::Flit> synthesize_flits(const PalSimConfig& cfg) {
   }
   return rf;
 }
-
-}  // namespace
 
 lint::LintInput make_lint_input(const PalSimConfig& cfg) {
   lint::LintInput in;
@@ -160,7 +160,15 @@ PalSimResult run_pal_decoder(const PalSimConfig& cfg) {
   res.gamma = sharing::gamma_hat(spec, {eta1, eta1, eta2, eta2});
 
   // ---- Synthesize the broadcast and quantize to fixed point. ----
-  const std::vector<sim::Flit> rf = synthesize_flits(cfg);
+  std::vector<sim::Flit> rf_local;
+  if (cfg.prebuilt_input == nullptr) {
+    rf_local = synthesize_pal_input(cfg);
+  } else {
+    ACC_EXPECTS_MSG(cfg.prebuilt_input->size() == cfg.input_samples,
+                    "prebuilt_input size does not match input_samples");
+  }
+  const std::vector<sim::Flit>& rf =
+      cfg.prebuilt_input != nullptr ? *cfg.prebuilt_input : rf_local;
 
   // ---- Build the MPSoC. Nodes: 0 entry, 1 CORDIC, 2 FIR, 3 exit. ----
   sim::System sys(4);
@@ -372,7 +380,15 @@ PalSimResult run_pal_decoder_dedicated(const PalSimConfig& cfg) {
   res.eta_stage2 = eta2;
   res.gamma = 0;  // no round-robin round in the dedicated system
 
-  const std::vector<sim::Flit> rf = synthesize_flits(cfg);
+  std::vector<sim::Flit> rf_local;
+  if (cfg.prebuilt_input == nullptr) {
+    rf_local = synthesize_pal_input(cfg);
+  } else {
+    ACC_EXPECTS_MSG(cfg.prebuilt_input->size() == cfg.input_samples,
+                    "prebuilt_input size does not match input_samples");
+  }
+  const std::vector<sim::Flit>& rf =
+      cfg.prebuilt_input != nullptr ? *cfg.prebuilt_input : rf_local;
 
   // ---- Four private chains: nodes 4c .. 4c+3 per chain c. ----
   sim::System sys(16);

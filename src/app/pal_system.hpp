@@ -88,6 +88,14 @@ struct PalSimConfig {
   /// error-tier findings abort the run. The examples' --no-lint flag and
   /// tests that deliberately build broken systems turn this off.
   bool lint = true;
+
+  /// Pre-synthesized, quantized front-end input. When non-null the decoder
+  /// streams these flits (size must equal input_samples) instead of
+  /// synthesizing them — exactly what synthesize_pal_input returns for the
+  /// same scenario. Lets callers amortize the trig-heavy synthesis across
+  /// runs of one scenario: the stepper bench shares a single waveform so
+  /// wall_ms measures the stepper, not three identical sin() sweeps.
+  const std::vector<sim::Flit>* prebuilt_input = nullptr;
 };
 
 struct PalSimResult {
@@ -131,6 +139,11 @@ struct PalSimResult {
 /// consumer wiring, the fault config and the determinism posture. This is
 /// what run_pal_decoder lints before building the system.
 [[nodiscard]] lint::LintInput make_lint_input(const PalSimConfig& cfg);
+
+/// Synthesize the broadcast and quantize it to flits — bit-identical to the
+/// input run_pal_decoder builds internally when cfg.prebuilt_input is null.
+[[nodiscard]] std::vector<sim::Flit> synthesize_pal_input(
+    const PalSimConfig& cfg);
 
 /// Build, run and measure the whole demonstrator.
 [[nodiscard]] PalSimResult run_pal_decoder(const PalSimConfig& cfg);

@@ -28,10 +28,12 @@ namespace acc::app {
 /// audio and verdicts — the cross-stepper equivalence check the bench and
 /// the perf ctest both enforce.
 struct SimBenchRun {
-  std::string mode;  // "dense" | "event"
+  std::string mode;  // "dense" | "event" | "wake_list"
   double wall_ms = 0.0;
-  std::int64_t cycles = 0;       // simulated cycles
-  double cycles_per_sec = 0.0;   // simulated cycles per wall second
+  std::int64_t cycles = 0;  // simulated cycles
+  // Simulated cycles per wall second; NaN when the wall clock rounded to
+  // zero (sub-millisecond --sim-fast runs) — serialized as JSON null.
+  double cycles_per_sec = 0.0;
   std::int64_t dense_ticks = 0;  // cycles actually ticked
   std::int64_t skips = 0;
   std::int64_t skipped_cycles = 0;
@@ -40,6 +42,11 @@ struct SimBenchRun {
   std::int64_t component_ticks = 0;   // Component::tick calls
   std::int64_t horizon_queries = 0;   // next_event consultations
   std::int64_t wakes = 0;             // wake notifications delivered
+  // Batched data plane (ISSUE 8): granted runs executed at virtual cycles
+  // and the tokens/invocations they moved. Zero under dense/event by
+  // construction — only the wake-list stepper issues grants.
+  std::int64_t batch_runs = 0;
+  std::int64_t batch_tokens = 0;
   // Outcome digest.
   std::int64_t sink_samples = 0;
   std::int64_t source_drops = 0;
@@ -56,17 +63,19 @@ struct SimBenchRun {
 };
 
 /// Run the decoder once under the chosen stepper and measure it. The run's
-/// `mode` string is "dense" for kDense and "event" otherwise (both event
-/// steppers fill the same BENCH_sim.json slot; the wake-list is the
-/// shipping default).
+/// `mode` string names the stepper: "dense" (kDense), "event"
+/// (kGlobalHorizon) or "wake_list" (kWakeList, the shipping default).
 [[nodiscard]] SimBenchRun sim_bench_run(const PalSimConfig& pal,
                                         sim::StepperKind kind);
 
 /// Assemble the BENCH_sim.json document:
-/// {bench: "sim", workload: {...}, runs: [dense, event], speedup,
-/// equivalent}. Validated by common/bench_schema.hpp.
+/// {bench: "sim", workload: {...}, runs: [dense, event, wake_list],
+/// speedup, equivalent}. `speedup` compares the wake-list run against
+/// dense and is null when either wall clock rounded to zero. Validated by
+/// common/bench_schema.hpp.
 [[nodiscard]] json::Value sim_bench_doc(const PalSimConfig& pal,
                                         const SimBenchRun& dense,
-                                        const SimBenchRun& event);
+                                        const SimBenchRun& event,
+                                        const SimBenchRun& wake);
 
 }  // namespace acc::app

@@ -4,12 +4,21 @@ namespace acc {
 
 namespace {
 
-enum class Kind { kInt, kNumber, kString, kBool, kArray, kObject };
+enum class Kind {
+  kInt,
+  kNumber,
+  kNumberOrNull,  // measured rate that may be null (clock below resolution)
+  kString,
+  kBool,
+  kArray,
+  kObject,
+};
 
 const char* kind_name(Kind k) {
   switch (k) {
     case Kind::kInt: return "integer";
     case Kind::kNumber: return "number";
+    case Kind::kNumberOrNull: return "number or null";
     case Kind::kString: return "string";
     case Kind::kBool: return "bool";
     case Kind::kArray: return "array";
@@ -22,6 +31,7 @@ bool is_kind(const json::Value& v, Kind k) {
   switch (k) {
     case Kind::kInt: return v.is_int();
     case Kind::kNumber: return v.is_number();
+    case Kind::kNumberOrNull: return v.is_number() || v.is_null();
     case Kind::kString: return v.is_string();
     case Kind::kBool: return v.is_bool();
     case Kind::kArray: return v.is_array();
@@ -167,26 +177,31 @@ std::vector<std::string> validate_bench_sim(const json::Value& doc) {
   const json::Value* runs =
       require(doc, "$", "runs", Kind::kArray, &problems);
   if (runs != nullptr) {
-    if (runs->as_array().size() != 2)
-      problems.push_back("$.runs: expected exactly two runs (dense, event)");
+    // One row per stepper, in the fixed order the doc builder emits.
+    static const char* kModes[] = {"dense", "event", "wake_list"};
+    if (runs->as_array().size() != 3)
+      problems.push_back(
+          "$.runs: expected exactly three runs (dense, event, wake_list)");
     for (std::size_t i = 0; i < runs->as_array().size(); ++i) {
       const std::string path = "$.runs[" + std::to_string(i) + "]";
       const json::Value& run = runs->as_array()[i];
       const json::Value* mode =
           require(run, path, "mode", Kind::kString, &problems);
-      if (mode != nullptr && mode->as_string() != "dense" &&
-          mode->as_string() != "event")
-        problems.push_back(path + ".mode: expected \"dense\" or \"event\"");
+      if (mode != nullptr && i < 3 && mode->as_string() != kModes[i])
+        problems.push_back(path + ".mode: expected \"" +
+                           std::string(kModes[i]) + "\"");
       require_all(run, path,
                   {{"wall_ms", Kind::kNumber},
                    {"cycles", Kind::kInt},
-                   {"cycles_per_sec", Kind::kNumber},
+                   {"cycles_per_sec", Kind::kNumberOrNull},
                    {"dense_ticks", Kind::kInt},
                    {"skips", Kind::kInt},
                    {"skipped_cycles", Kind::kInt},
                    {"component_ticks", Kind::kInt},
                    {"horizon_queries", Kind::kInt},
                    {"wakes", Kind::kInt},
+                   {"batch_runs", Kind::kInt},
+                   {"batch_tokens", Kind::kInt},
                    {"sink_samples", Kind::kInt},
                    {"source_drops", Kind::kInt},
                    {"sink_underruns", Kind::kInt},
@@ -195,12 +210,12 @@ std::vector<std::string> validate_bench_sim(const json::Value& doc) {
                   &problems);
     }
   }
-  (void)require(doc, "$", "speedup", Kind::kNumber, &problems);
+  (void)require(doc, "$", "speedup", Kind::kNumberOrNull, &problems);
   const json::Value* equivalent =
       require(doc, "$", "equivalent", Kind::kBool, &problems);
   if (equivalent != nullptr && !equivalent->as_bool())
     problems.push_back(
-        "$.equivalent: dense and event runs diverged (steppers must be "
+        "$.equivalent: the stepper runs diverged (steppers must be "
         "cycle-exact)");
   return problems;
 }

@@ -140,6 +140,28 @@ void check_etas(const LintInput& in, const sharing::SharedSystemSpec& spec,
   }
   if (!positive) return;
 
+  // M13 (ISSUE 8): a rate-converting kernel fires once per input sample and
+  // emits on a fixed decimation grid, so a block of eta_s inputs yields
+  // eta_s / d outputs only when d = eta_s / block_out is an integer. A
+  // block size that is not an integer multiple of its per-block output
+  // quantum leaves a fractional firing at the block boundary: burst and
+  // FIFO sizing computed in output samples truncate, and the batched block
+  // path cannot tile the block with whole firings.
+  for (std::size_t s = 0; s < in.etas.size() && s < in.block_out.size();
+       ++s) {
+    const std::int64_t out = in.block_out[s];
+    if (out <= 0 || in.etas[s] % out == 0) continue;
+    rep.add("M13", idx("$.etas", s),
+            "stream '" + spec.streams[s].name + "': block size " +
+                std::to_string(in.etas[s]) +
+                " is not an integer multiple of its per-block output "
+                "quantum " +
+                std::to_string(out) +
+                " (fractional kernel firings per block)",
+            "round the block size up to a multiple of the output quantum, "
+            "as Algorithm 1's decimation alignment does");
+  }
+
   sharing::Time gamma = 0;
   try {
     gamma = sharing::gamma_hat(spec, in.etas);

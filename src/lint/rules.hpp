@@ -71,6 +71,9 @@ inline constexpr RuleInfo kRules[] = {
     {"M12", "eta-above-minimum", Severity::kNote,
      "block sizes exceed the Algorithm-1 minimum (extra latency, e.g. from "
      "decimation alignment)"},
+    {"M13", "block-rate-misaligned", Severity::kWarning,
+     "kernel block size is not an integer multiple of the stream's per-block "
+     "CSDF output quantum (fractional firings per block)"},
     {"G01", "gateway-unpaired", Severity::kError,
      "chain does not have exactly one entry and one exit gateway"},
     {"G02", "gateway-space-unwired", Severity::kError,

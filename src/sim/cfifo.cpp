@@ -17,15 +17,36 @@ CFifo::CFifo(std::string name, std::int64_t capacity,
   ACC_EXPECTS(read_visibility_lag >= 0 && write_visibility_lag >= 0);
 }
 
+std::int64_t CFifo::visible_data_prefix(Cycle now) const {
+  std::size_t lo = 0;
+  std::size_t hi = data_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (data_[mid].visible_at <= now) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<std::int64_t>(lo);
+}
+
 std::int64_t CFifo::space_visible(Cycle now) const {
   last_now_ = std::max(last_now_, now);
   // Writer sees: capacity - (its own pushes) + (reads whose counter update
   // has arrived back). freed_ deadlines are monotone, so the visible prefix
   // ends at a binary-searchable boundary (this is a per-tick hot path).
-  const std::int64_t freed_visible = std::distance(
-      freed_.begin(),
-      std::partition_point(freed_.begin(), freed_.end(),
-                           [now](Cycle t) { return t <= now; }));
+  std::size_t lo = 0;
+  std::size_t hi = freed_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (freed_[mid] <= now) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const auto freed_visible = static_cast<std::int64_t>(lo);
   const std::int64_t outstanding =
       static_cast<std::int64_t>(data_.size()) +
       (static_cast<std::int64_t>(freed_.size()) - freed_visible);
@@ -56,8 +77,8 @@ void CFifo::push(Cycle now, Flit f) {
     visible_at += fault_->delay(FaultSite::kCreditWithhold, now);
   // The write counter is a single index: withholding one update withholds
   // everything behind it, so visibility times stay monotone.
-  if (!data_.empty()) visible_at = std::max(visible_at, data_.back().first);
-  data_.emplace_back(visible_at, f);
+  if (!data_.empty()) visible_at = std::max(visible_at, data_.back().visible_at);
+  data_.push_back(Entry{visible_at, f});
   ++pushed_;
   peak_ = std::max(peak_, static_cast<std::int64_t>(data_.size()));
   m_pushed_.add();
@@ -70,11 +91,7 @@ std::int64_t CFifo::fill_visible(Cycle now) const {
   // Arrival times are monotone; the visible prefix usually spans most of a
   // deep FIFO, so counting it linearly made this the simulator's hottest
   // function. Binary-search the boundary instead.
-  return std::distance(
-      data_.begin(),
-      std::partition_point(
-          data_.begin(), data_.end(),
-          [now](const std::pair<Cycle, Flit>& e) { return e.first <= now; }));
+  return visible_data_prefix(now);
 }
 
 Cycle CFifo::when_fill_visible(std::int64_t n, Cycle now) const {
@@ -82,7 +99,7 @@ Cycle CFifo::when_fill_visible(std::int64_t n, Cycle now) const {
   if (static_cast<std::int64_t>(data_.size()) < n) return kNeverCycle;
   // Visibility deadlines are monotone: the n-th sample is visible exactly
   // when its own deadline passes.
-  return std::max(now, data_[static_cast<std::size_t>(n - 1)].first);
+  return std::max(now, data_[static_cast<std::size_t>(n - 1)].visible_at);
 }
 
 Cycle CFifo::when_space_visible(std::int64_t n, Cycle now) const {
@@ -99,12 +116,12 @@ Cycle CFifo::when_space_visible(std::int64_t n, Cycle now) const {
 
 Flit CFifo::front(Cycle now) const {
   ACC_EXPECTS_MSG(can_pop(now), "CFifo '" + name_ + "' front on empty view");
-  return data_.front().second;
+  return data_.front().flit;
 }
 
 Flit CFifo::pop(Cycle now) {
   ACC_EXPECTS_MSG(can_pop(now), "CFifo '" + name_ + "' pop on empty view");
-  const Flit f = data_.front().second;
+  const Flit f = data_.front().flit;
   data_.pop_front();
   Cycle freed_at = now + wlag_;
   if (fault_ != nullptr)
@@ -116,6 +133,46 @@ Flit CFifo::pop(Cycle now) {
   m_occupancy_.set(static_cast<std::int64_t>(data_.size()));
   for (Component* w : pop_watchers_) w->request_wake();
   return f;
+}
+
+std::size_t CFifo::push_run(Cycle base, Cycle stride,
+                            std::span<const Flit> flits,
+                            const Component* self) {
+  std::size_t n = 0;
+  for (const Flit f : flits) {
+    const Cycle vt = base + stride * static_cast<Cycle>(n);
+    // First token: the caller vouches for its legality (usually it is the
+    // mid-tick operation at the real current cycle). Later tokens: re-read
+    // the grant — a watcher woken by a previous push in this very run may
+    // have collapsed it — and require a read lag (see read_lag()).
+    if (n > 0 && (rlag_ < 1 || self == nullptr ||
+                  vt >= self->batch_quiet_until()))
+      break;
+    if (!can_push(vt)) break;
+    push(vt, f);
+    ++n;
+  }
+  note_run(n);
+  return n;
+}
+
+std::size_t CFifo::pop_run(Cycle base, Cycle stride, std::size_t max_tokens,
+                           std::vector<Flit>* out, std::vector<Cycle>* stamps,
+                           const Component* self) {
+  std::size_t n = 0;
+  while (n < max_tokens) {
+    const Cycle vt = base + stride * static_cast<Cycle>(n);
+    if (n > 0 && (wlag_ < 1 || self == nullptr ||
+                  vt >= self->batch_quiet_until()))
+      break;
+    if (!can_pop(vt)) break;
+    const Flit f = pop(vt);
+    if (out != nullptr) out->push_back(f);
+    if (stamps != nullptr) stamps->push_back(vt);
+    ++n;
+  }
+  note_run(n);
+  return n;
 }
 
 void CFifo::set_metrics(obs::MetricsRegistry* registry) {

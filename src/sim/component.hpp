@@ -2,6 +2,7 @@
 #pragma once
 
 #include "sim/ring.hpp"
+#include "sim/stepper_stats.hpp"
 #include "sim/wake.hpp"
 
 namespace acc::sim {
@@ -65,8 +66,35 @@ class Component {
     if (hub_ != nullptr) hub_->wake(*this);
   }
 
+  /// Installed by System::add so batched transfers report into the owning
+  /// stepper's counters. Null for standalone components (unit tests).
+  void set_stepper_stats(StepperStats* stats) { stepper_stats_ = stats; }
+
+  /// Batched-data-plane grant (ISSUE 8): the earliest cycle at which any
+  /// OTHER unit is scheduled to act. While mid-tick, this component may
+  /// execute operations at virtual cycles strictly below the returned
+  /// bound as one run; the bound must be re-read after every operation
+  /// (wakes raised by the run itself collapse it). 0 without a hub or
+  /// outside an active wake-list cycle — batching simply never triggers
+  /// under the dense and global-horizon steppers. Public so CFifo::push_run
+  /// / pop_run can re-check the grant between tokens on the component's
+  /// behalf; it is a pure query with no side effects.
+  [[nodiscard]] Cycle batch_quiet_until() const {
+    return hub_ == nullptr ? 0 : hub_->quiet_until(wake_slot_);
+  }
+
  protected:
+
+  /// Record a granted run of `tokens` operations (>= 2) in StepperStats.
+  void note_batch_run(std::int64_t tokens) {
+    if (stepper_stats_ != nullptr) {
+      ++stepper_stats_->batch_runs;
+      stepper_stats_->batch_tokens += tokens;
+    }
+  }
+
   WakeHub* hub_ = nullptr;
+  StepperStats* stepper_stats_ = nullptr;
 
  private:
   std::size_t wake_slot_ = 0;

@@ -124,8 +124,10 @@ bool EntryGateway::admissible(const StreamRoute& r, Cycle now) const {
 }
 
 void EntryGateway::tick(Cycle now) {
-  // Collect credits returned by the first accelerator's NI.
-  credits_ += ring_.credit().drain_count(node_);
+  // Collect credits returned by the first accelerator's NI (inline O(1)
+  // emptiness check first: most ticks deliver nothing).
+  if (ring_.credit().has_ejected(node_))
+    credits_ += ring_.credit().drain_count(node_);
 
   switch (state_) {
     case State::kIdle: {
@@ -290,6 +292,10 @@ void EntryGateway::tick(Cycle now) {
 }
 
 Cycle EntryGateway::next_event(Cycle now) const {
+  // Credits ejected at our node await pickup: tick next cycle, in every
+  // FSM state (the drain happens unconditionally at the top of tick()).
+  // See AcceleratorTile::next_event for why this pin must exist.
+  if (ring_.credit().has_ejected(node_)) return now + 1;
   switch (state_) {
     case State::kIdle: {
       if (streams_.empty()) return kNeverCycle;
@@ -401,11 +407,14 @@ void ExitGateway::arm(StreamId stream, CFifo* output, std::int64_t expected) {
 }
 
 void ExitGateway::tick(Cycle now) {
-  ring_.data().drain_into(node_, rx_);
-  for (const RingMsg& m : rx_) {
-    ACC_CHECK_MSG(static_cast<std::int64_t>(input_.size()) < ni_capacity_,
-                  name_ + ": NI input overflow (credit protocol violated)");
-    input_.push_back(m.payload);
+  // Inline O(1) emptiness check first: most ticks deliver nothing.
+  if (ring_.data().has_ejected(node_)) {
+    ring_.data().drain_into(node_, rx_);
+    for (const RingMsg& m : rx_) {
+      ACC_CHECK_MSG(static_cast<std::int64_t>(input_.size()) < ni_capacity_,
+                    name_ + ": NI input overflow (credit protocol violated)");
+      input_.push_back(m.payload);
+    }
   }
   while (pending_credit_returns_ > 0 && upstream_node_ >= 0) {
     RingMsg credit;
@@ -470,6 +479,9 @@ void ExitGateway::tick(Cycle now) {
 }
 
 Cycle ExitGateway::next_event(Cycle now) const {
+  // Data flits ejected at our node await pickup: tick next cycle (see
+  // AcceleratorTile::next_event).
+  if (ring_.data().has_ejected(node_)) return now + 1;
   Cycle h = kNeverCycle;
   if (notify_at_) h = std::min(h, *notify_at_);
   if (busy_) {

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "sim/fault.hpp"
-#include "sim/wake.hpp"
 
 namespace acc::sim {
 
@@ -13,37 +12,6 @@ Ring::Ring(std::int32_t nodes, bool clockwise)
       ejected_(static_cast<std::size_t>(nodes)),
       clockwise_(clockwise) {
   ACC_EXPECTS(nodes >= 2);
-}
-
-bool Ring::try_inject(std::int32_t node, const RingMsg& msg) {
-  ACC_EXPECTS(node >= 0 && node < nodes());
-  ACC_EXPECTS(msg.dst >= 0 && msg.dst < nodes());
-  auto& q = inject_[node];
-  if (q.size() >= kInjectQueueDepth) return false;
-  q.push_back(msg);
-  ++queued_;
-  m_injected_.add();
-  if (hub_ != nullptr) hub_->ring_activity(*this);
-  return true;
-}
-
-void Ring::drain_into(std::int32_t node, std::vector<RingMsg>& out) {
-  ACC_EXPECTS(node >= 0 && node < nodes());
-  out.clear();
-  auto& src = ejected_[node];
-  if (src.empty()) return;
-  out.insert(out.end(), src.begin(), src.end());
-  pending_eject_ -= static_cast<std::int64_t>(src.size());
-  src.clear();
-}
-
-std::int64_t Ring::drain_count(std::int32_t node) {
-  ACC_EXPECTS(node >= 0 && node < nodes());
-  auto& src = ejected_[node];
-  const auto n = static_cast<std::int64_t>(src.size());
-  pending_eject_ -= n;
-  src.clear();
-  return n;
 }
 
 std::vector<RingMsg> Ring::drain(std::int32_t node) {
@@ -78,6 +46,14 @@ void Ring::tick() {
       return;
     }
   }
+  // Idle fast path: with every slot empty and every injection queue empty,
+  // the rotation moves nothing, no node can eject or pick up, and
+  // m_hops_.add(0) is a no-op. The only state the full body would touch is
+  // offset_, and the offset of an all-empty slot array is unobservable —
+  // skip_to already skips rotation replay for an empty ring on the same
+  // grounds. The dense stepper ticks both rings every cycle, so this is
+  // the common case there.
+  if (occupied_ == 0 && queued_ == 0) return;
   const auto n = static_cast<std::int32_t>(slots_.size());
   // Rotate slots one hop: the slot at node i moves to node i+1 (clockwise)
   // or i-1 (counter-clockwise). Rotation is a single offset update — the
@@ -95,51 +71,56 @@ void Ring::tick() {
   m_hops_.add(occupied_);
 
   // At each node: eject a slot addressed to it, then fill a free slot from
-  // the local injection queue.
-  for (std::int32_t i = 0; i < n; ++i) {
+  // the local injection queue. The scan stops once every occupied slot has
+  // been passed and every queued message picked up — the remaining nodes
+  // provably see an empty slot and an empty queue, so skipping them is a
+  // pure no-op (typical streaming ticks carry one or two messages on a
+  // wider ring).
+  std::int64_t occ = occupied_;  // occupied slots not yet scanned past
+  std::int64_t q = queued_;      // queued messages not yet offered a slot
+  for (std::int32_t i = 0; i < n && (occ > 0 || q > 0); ++i) {
     Slot& s = slots_[slot_at(i)];
-    if (s.occupied && s.msg.dst == i) {
-      ejected_[i].push_back(s.msg);
-      s.occupied = false;
-      ++delivered_;
-      --occupied_;
-      ++pending_eject_;
-      m_delivered_.add();
-      if (hub_ != nullptr) hub_->ring_delivery(*this, i);
+    if (s.occupied) {
+      --occ;
+      if (s.msg.dst == i) {
+        ejected_[i].push_back(s.msg);
+        s.occupied = false;
+        ++delivered_;
+        --occupied_;
+        ++pending_eject_;
+        m_delivered_.add();
+        if (hub_ != nullptr) hub_->ring_delivery(*this, i);
+      }
     }
-    if (!s.occupied && !inject_[i].empty()) {
+    if (!s.occupied && q > 0 && !inject_[i].empty()) {
       s.msg = inject_[i].front();
       inject_[i].pop_front();
       s.occupied = true;
       ++occupied_;
       --queued_;
+      --q;
     }
   }
 }
 
-Cycle Ring::next_event() const {
-  if (!idle()) {
-    // Messages in flight / queued / awaiting drain: tick every cycle, or —
-    // while frozen by a stall window — resume when the window releases
-    // (the frozen cycles only accrue stall accounting, replayed by skip_to).
-    return std::max(now_, stall_until_);
-  }
-  // Empty ring: a tick only matters when it would consult the fault
-  // injector's RNG (an eligible consult advances the deterministic stream,
-  // which is externally visible state). Skipped stall-window accounting is
-  // replayed exactly by skip_to.
-  if (fault_ == nullptr) return kNeverCycle;
+Cycle Ring::fault_next_eligible() const {
   const Cycle first_consult = std::max(now_, stall_until_);
   return fault_->next_eligible(fault_site_, first_consult);
 }
 
-void Ring::skip_to(Cycle target) {
-  if (target <= now_) return;
-  // Dense ticks inside an open stall window each count one stall cycle;
-  // replay that accounting for the portion of the window we jump over.
+void Ring::skip_rotations(Cycle target) {
+  // In-flight fast-forward: replay the rotations and the per-hop metric
+  // accrual the skipped dense ticks would have performed. next_event
+  // certified that no ejection (and, with queued_ == 0, no pickup) falls
+  // inside the range, so the occupancy is constant across it — exactly
+  // occupied_ hops per rotation. Only non-stalled cycles rotate.
   const Cycle stalled_until = std::min(target, stall_until_);
-  if (stalled_until > now_) stall_cycles_ += stalled_until - now_;
-  now_ = target;
+  const Cycle rotations = target - std::max(now_, stalled_until);
+  if (rotations <= 0) return;
+  const std::size_t n = slots_.size();
+  const auto r = static_cast<std::size_t>(rotations % static_cast<Cycle>(n));
+  offset_ = clockwise_ ? (offset_ + n - r) % n : (offset_ + r) % n;
+  m_hops_.add(occupied_ * rotations);
 }
 
 void DualRing::set_fault(FaultInjector* injector) {

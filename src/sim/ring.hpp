@@ -11,13 +11,14 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "obs/metrics.hpp"
 #include "sim/flit.hpp"
+#include "sim/wake.hpp"
 
 namespace acc::sim {
 
@@ -28,8 +29,6 @@ using Cycle = std::int64_t;
 inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
 
 class FaultInjector;
-enum class FaultSite : int;
-class WakeHub;
 
 struct RingMsg {
   std::int32_t dst = -1;
@@ -44,17 +43,49 @@ class Ring {
 
   /// Queue a message for injection at `node` (bounded injection FIFO; the
   /// tile must retry next cycle when full — a posted write "completes when
-  /// the interconnect accepts").
-  [[nodiscard]] bool try_inject(std::int32_t node, const RingMsg& msg);
+  /// the interconnect accepts"). Inline: tiles call this in retry loops on
+  /// every tick of a streaming phase.
+  [[nodiscard]] bool try_inject(std::int32_t node, const RingMsg& msg) {
+    ACC_EXPECTS(node >= 0 && node < nodes());
+    ACC_EXPECTS(msg.dst >= 0 && msg.dst < nodes());
+    auto& q = inject_[static_cast<std::size_t>(node)];
+    if (q.size() >= kInjectQueueDepth) return false;
+    q.push_back(msg);
+    ++queued_;
+    m_injected_.add();
+    // The hub only needs to hear transitions that can LOWER the ring's
+    // horizon. With messages already queued before this push, next_event
+    // was (and stays) pinned at the next non-stalled tick, so the cached
+    // schedule is already as early as it can get and the notification
+    // would be a no-op. queued_ == 1 means this push made the queues
+    // non-empty — the only injection that can un-park the ring.
+    if (hub_ != nullptr && queued_ == 1) hub_->ring_activity(*this);
+    return true;
+  }
 
   /// Messages ejected at `node` since last drained, appended to `out`
   /// (cleared first). The caller owns `out` and reuses it across ticks, so
   /// the hot path performs no per-call allocation once the buffer warmed up.
-  void drain_into(std::int32_t node, std::vector<RingMsg>& out);
+  void drain_into(std::int32_t node, std::vector<RingMsg>& out) {
+    ACC_EXPECTS(node >= 0 && node < nodes());
+    out.clear();
+    auto& src = ejected_[static_cast<std::size_t>(node)];
+    if (src.empty()) return;
+    out.insert(out.end(), src.begin(), src.end());
+    pending_eject_ -= static_cast<std::int64_t>(src.size());
+    src.clear();
+  }
 
   /// Eject-and-count for callers that only tally messages (credit returns):
   /// returns the number of messages ejected at `node` and discards them.
-  [[nodiscard]] std::int64_t drain_count(std::int32_t node);
+  [[nodiscard]] std::int64_t drain_count(std::int32_t node) {
+    ACC_EXPECTS(node >= 0 && node < nodes());
+    auto& src = ejected_[static_cast<std::size_t>(node)];
+    const auto n = static_cast<std::int64_t>(src.size());
+    pending_eject_ -= n;
+    src.clear();
+    return n;
+  }
 
   /// Allocating convenience wrapper over drain_into (tests / cold paths).
   [[nodiscard]] std::vector<RingMsg> drain(std::int32_t node);
@@ -83,23 +114,90 @@ class Ring {
   /// Null (the default) under the dense / global-horizon steppers.
   void set_wake_hub(WakeHub* hub) { hub_ = hub; }
 
-  /// True when no slot is occupied, no injection queue holds a message and
-  /// no ejected message awaits pickup — ticking an idle ring is a no-op.
-  [[nodiscard]] bool idle() const {
-    return occupied_ == 0 && queued_ == 0 && pending_eject_ == 0;
+  /// Back the injection queues with a per-System arena (see common/
+  /// arena.hpp). Standalone rings (unit tests) stay heap-backed.
+  void set_arena(Arena* arena) {
+    for (auto& q : inject_) q.set_arena(arena);
+  }
+
+  /// True when no slot is occupied and no injection queue holds a message —
+  /// ticking such a ring moves nothing. Ejected messages awaiting pickup
+  /// do NOT make the ring busy: the draining tile's next_event (fed by
+  /// has_ejected) schedules the pickup, not the ring's.
+  [[nodiscard]] bool idle() const { return occupied_ == 0 && queued_ == 0; }
+
+  /// True when ejected messages await `node`'s drain. Components that
+  /// drain this node must report now + 1 from their next_event while this
+  /// holds — that is what lets the ring itself fast-forward across
+  /// in-flight hop cycles without stranding a delivered message.
+  [[nodiscard]] bool has_ejected(std::int32_t node) const {
+    return !ejected_[static_cast<std::size_t>(node)].empty();
   }
 
   /// Event horizon (see System::run): the earliest internal cycle at which
   /// a tick can change ring state or consult the fault injector's RNG,
-  /// assuming no component injects in the meantime. Returns the current
-  /// internal cycle while the ring is busy (tick every cycle) and
-  /// kNeverCycle when nothing will ever happen again.
-  [[nodiscard]] Cycle next_event() const;
+  /// assuming no component injects in the meantime. With messages queued
+  /// for pickup (or a fault injector consuming RNG per tick) that is the
+  /// next non-stalled cycle; with traffic purely IN FLIGHT it is the cycle
+  /// whose rotation lands the nearest message on its destination — the
+  /// intermediate hop cycles only accrue the hops metric, which skip_to
+  /// replays exactly. kNeverCycle when nothing will ever happen again.
+  /// Inline: the steppers consult it after every ring tick.
+  [[nodiscard]] Cycle next_event() const {
+    if (queued_ > 0 || (fault_ != nullptr && occupied_ > 0)) {
+      // Pickups happen on the very next non-stalled tick, and a fault
+      // injector consults its RNG on every non-stalled tick while traffic
+      // is in flight (each consult advances the deterministic stream): tick
+      // every cycle, or — while frozen by a stall window — resume when the
+      // window releases (frozen cycles only accrue stall accounting,
+      // replayed by skip_to).
+      return now_ > stall_until_ ? now_ : stall_until_;
+    }
+    if (occupied_ > 0) {
+      // Fault-free traffic purely in flight: every tick rotates (no stall
+      // window can open without an injector), and nothing externally
+      // visible happens until the rotation that lands the nearest message
+      // on its destination — its ejection tick. Hops in between are
+      // replayed by skip_to. The scan is O(nodes); rings are 4-16 nodes
+      // wide.
+      const auto n = static_cast<Cycle>(slots_.size());
+      Cycle k_min = kNeverCycle;
+      for (std::int32_t node = 0; node < nodes(); ++node) {
+        const Slot& s = slots_[slot_at(node)];
+        if (!s.occupied) continue;
+        // dst and node both lie in [0, n), so the hop distance wraps with
+        // one conditional add — no runtime-divisor modulo on this path.
+        Cycle k = clockwise_ ? s.msg.dst - node : node - s.msg.dst;
+        if (k <= 0) k += n;  // wrapped, or self-addressed: full revolution
+        if (k < k_min) k_min = k;
+      }
+      return now_ + k_min - 1;
+    }
+    // Empty ring: a tick only matters when it would consult the fault
+    // injector's RNG (an eligible consult advances the deterministic
+    // stream, which is externally visible state). Skipped stall-window
+    // accounting is replayed exactly by skip_to.
+    if (fault_ == nullptr) return kNeverCycle;
+    return fault_next_eligible();
+  }
 
   /// Jump the internal clock to `target` without ticking, accounting the
-  /// skipped cycles exactly as dense ticking would (stall-window cycles).
-  /// Only valid while the skipped range is quiescent per next_event().
-  void skip_to(Cycle target);
+  /// skipped cycles exactly as dense ticking would: stall-window cycles,
+  /// and — for in-flight traffic — slot rotations and per-hop metric
+  /// accrual. Only valid while the skipped range is quiescent per
+  /// next_event() (no ejection or pickup can fall inside it).
+  /// Inline: the wake-list stepper syncs both rings on every jump.
+  void skip_to(Cycle target) {
+    if (target <= now_) return;
+    // Dense ticks inside an open stall window each count one stall cycle;
+    // replay that accounting for the portion of the window we jump over.
+    if (stall_until_ > now_) {
+      const Cycle stalled_until = target < stall_until_ ? target : stall_until_;
+      stall_cycles_ += stalled_until - now_;
+    }
+    if (occupied_ > 0) skip_rotations(target);
+    now_ = target;
+  }
 
   [[nodiscard]] std::int32_t nodes() const {
     return static_cast<std::int32_t>(slots_.size());
@@ -130,8 +228,16 @@ class Ring {
     return i >= slots_.size() ? i - slots_.size() : i;
   }
 
+  /// Out-of-line arm of next_event for the empty-ring-with-injector case
+  /// (needs FaultInjector's definition, which this header cannot include).
+  [[nodiscard]] Cycle fault_next_eligible() const;
+
+  /// Out-of-line arm of skip_to: replay the rotations and per-hop metric
+  /// accrual for in-flight traffic (the only case with a runtime modulo).
+  void skip_rotations(Cycle target);
+
   std::vector<Slot> slots_;
-  std::vector<std::deque<RingMsg>> inject_;
+  std::vector<RingBuffer<RingMsg>> inject_;
   std::vector<std::vector<RingMsg>> ejected_;
   std::size_t offset_ = 0;  // slots_[ (node + offset_) % n ] is at node
   bool clockwise_;
@@ -186,6 +292,12 @@ class DualRing {
   void set_wake_hub(WakeHub* hub) {
     data_.set_wake_hub(hub);
     credit_.set_wake_hub(hub);
+  }
+
+  /// Arena-back both rings' injection queues (see Ring::set_arena).
+  void set_arena(Arena* arena) {
+    data_.set_arena(arena);
+    credit_.set_arena(arena);
   }
 
  private:

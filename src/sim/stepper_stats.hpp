@@ -1,0 +1,29 @@
+// Stepper instrumentation, shared between System (which owns one) and the
+// components / C-FIFOs that report grant-driven batch transfers into it
+// (ISSUE 8). Split out of system.hpp so passive objects can hold a pointer
+// without pulling in the stepper.
+#pragma once
+
+#include <cstdint>
+
+namespace acc::sim {
+
+/// Stepper instrumentation: how much work the event-driven cores avoided.
+/// All counters are per-stepper diagnostics, not simulation state — the
+/// cycle-exactness contract covers component state, traces and metric
+/// snapshots, while these legitimately differ between steppers.
+struct StepperStats {
+  std::int64_t dense_ticks = 0;      // cycles actually stepped
+  std::int64_t skips = 0;            // quiescent jumps taken
+  std::int64_t skipped_cycles = 0;   // cycles covered by those jumps
+  std::int64_t component_ticks = 0;  // Component::tick calls (all steppers)
+  std::int64_t horizon_queries = 0;  // next_event consultations
+  std::int64_t wakes = 0;            // wake notifications delivered
+  // Batched data plane (ISSUE 8): run-length transfers executed under a
+  // wake-list exclusivity grant. Zero under the dense and global-horizon
+  // steppers by construction (no grants are ever issued there).
+  std::int64_t batch_runs = 0;    // granted runs of length >= 2
+  std::int64_t batch_tokens = 0;  // tokens/invocations moved inside runs
+};
+
+}  // namespace acc::sim

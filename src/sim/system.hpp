@@ -39,23 +39,15 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "sim/cfifo.hpp"
 #include "sim/component.hpp"
 #include "sim/fault.hpp"
 #include "sim/ring.hpp"
+#include "sim/stepper_stats.hpp"
 #include "sim/wake.hpp"
 
 namespace acc::sim {
-
-/// Stepper instrumentation: how much work the event-driven cores avoided.
-struct StepperStats {
-  std::int64_t dense_ticks = 0;      // cycles actually stepped
-  std::int64_t skips = 0;            // quiescent jumps taken
-  std::int64_t skipped_cycles = 0;   // cycles covered by those jumps
-  std::int64_t component_ticks = 0;  // Component::tick calls (all steppers)
-  std::int64_t horizon_queries = 0;  // next_event consultations
-  std::int64_t wakes = 0;            // wake notifications delivered
-};
 
 /// Which stepper advances the system (all three are cycle-exact).
 enum class StepperKind {
@@ -66,15 +58,24 @@ enum class StepperKind {
 
 class System final : public WakeHub {
  public:
-  explicit System(std::int32_t ring_nodes) : ring_(ring_nodes) {}
+  explicit System(std::int32_t ring_nodes) : ring_(ring_nodes) {
+    // Token storage (ring injection queues, C-FIFO deadline queues) bumps
+    // from the per-System arena: no steady-state heap traffic, and the
+    // queues of one system share locality. arena_ is declared before
+    // ring_/fifos_, so it outlives every container carved from it.
+    ring_.data().set_arena(&arena_);
+    ring_.credit().set_arena(&arena_);
+  }
 
   [[nodiscard]] DualRing& ring() { return ring_; }
+  [[nodiscard]] const Arena& arena() const { return arena_; }
 
   /// Construct and own a component; ticked in creation order.
   template <typename T, typename... Args>
   T& add(Args&&... args) {
     auto p = std::make_unique<T>(std::forward<Args>(args)...);
     T& ref = *p;
+    ref.set_stepper_stats(&stats_);
     components_.push_back(std::move(p));
     wake_ready_ = false;
     return ref;
@@ -84,17 +85,23 @@ class System final : public WakeHub {
   template <typename... Args>
   CFifo& add_fifo(Args&&... args) {
     fifos_.push_back(std::make_unique<CFifo>(std::forward<Args>(args)...));
+    fifos_.back()->set_arena(&arena_);
+    fifos_.back()->set_stepper_stats(&stats_);
     wake_ready_ = false;
     return *fifos_.back();
   }
 
   /// Run for `cycles` clock cycles with the wake-list stepper (cycle-exact
-  /// vs run_dense; see file header).
+  /// vs run_dense; see file header). The only stepper that issues batching
+  /// grants (quiet_until): run_until withholds them so its predicate
+  /// observes every intermediate state dense stepping would expose.
   void run(Cycle cycles) {
     const Cycle end = now_ + cycles;
     begin_wake_run();
+    run_end_ = end;
+    batch_allowed_ = true;
+    Cycle due = now_;  // begin_wake_run schedules every slot at now_
     while (now_ < end) {
-      const Cycle due = next_due();
       if (due > now_) {
         const Cycle target = std::min(due, end);
         stats_.skipped_cycles += target - now_;
@@ -102,8 +109,9 @@ class System final : public WakeHub {
         now_ = target;
         if (now_ >= end) break;
       }
-      step_wake_cycle();
+      due = step_wake_cycle();
     }
+    batch_allowed_ = false;
     sync_all(end);
   }
 
@@ -163,7 +171,7 @@ class System final : public WakeHub {
         now_ = target;
         continue;
       }
-      step_wake_cycle();
+      (void)step_wake_cycle();
     }
     sync_all(end);
     return pred(now_);
@@ -178,7 +186,30 @@ class System final : public WakeHub {
     if (!wake_ready_) return;
     // prepare_wake stamped the slot index on the component; only this
     // system installs component hubs, so the index is always ours.
-    wake_slot(c.wake_slot());
+    const std::size_t idx = c.wake_slot();
+    if (grant_live_ && idx < processing_pos_) {
+      // Batched run in progress: a conservative "schedule at now_ + 1"
+      // would collapse the grant on every watcher notification, even when
+      // the watcher demonstrably sleeps far beyond the batch window. Slots
+      // BELOW the granted one already had their dense-order turn this
+      // cycle, so their earliest possible reaction is next_event(now_) —
+      // re-deriving it here is exact (never later than dense) and keeps
+      // the window open when the woken component genuinely stays idle.
+      // Slots at or above the granted one may still act THIS cycle, so
+      // they take the conservative path, which aborts the batch.
+      ++stats_.wakes;
+      ++stats_.horizon_queries;
+      const Cycle h = c.next_event(now_);
+      const Cycle target =
+          h == kNeverCycle ? kNeverCycle : std::max(h, now_ + 1);
+      Slot& s = slots_[idx];
+      if (target < s.at) {
+        s.at = target;
+        wake_floor_min_ = std::min(wake_floor_min_, target);
+      }
+      return;
+    }
+    wake_slot(idx);
   }
 
   void ring_activity(Ring& r) override {
@@ -203,6 +234,23 @@ class System final : public WakeHub {
     if (!wake_ready_ || site != FaultSite::kRingLink) return;
     requery_ring(data_slot());
     requery_ring(credit_slot());
+  }
+
+  /// Batching grant (see sim/wake.hpp): min over every OTHER slot's
+  /// scheduled cycle, clamped to the end of the active run(). Grants are
+  /// only issued mid-cycle under the wake-list stepper with batching
+  /// allowed, and never while a wake-unsafe component exists (its parked
+  /// slot carries no schedule the window could trust). Issuing a grant
+  /// arms the requery-on-wake path above until the granted tick returns.
+  [[nodiscard]] Cycle quiet_until(std::size_t self_slot) const override {
+    if (!wake_ready_ || !processing_ || !batch_allowed_ || !unsafe_.empty())
+      return 0;
+    Cycle m = run_end_;
+    for (std::size_t j = 0; j < slots_.size(); ++j) {
+      if (j != self_slot) m = std::min(m, slots_[j].at);
+    }
+    grant_live_ = true;
+    return m;
   }
 
  private:
@@ -311,23 +359,49 @@ class System final : public WakeHub {
   /// not-yet-scanned slots land at `now_` and are picked up by the same
   /// scan; wakes for already-passed slots land at now_ + 1 — exactly when
   /// the dense loop would have let them observe the interaction.
-  void step_wake_cycle() {
+  ///
+  /// Returns the earliest due cycle after the step (the next_due() scan is
+  /// fused into the processing scan — one calendar pass per active cycle
+  /// instead of two). Visited slots can be LOWERED afterwards only through
+  /// wake_slot / the grant requery path, both of which feed
+  /// wake_floor_min_; they can be RAISED only by a mid-cycle ring requery
+  /// (fault triggers), which makes the returned minimum conservative-early
+  /// — the next iteration scans again, finds nothing due, and returns the
+  /// fresh minimum without stepping (the !any path below), so stats stay
+  /// identical to the unfused loop.
+  [[nodiscard]] Cycle step_wake_cycle() {
     const Cycle t = now_;
     processing_ = true;
+    wake_floor_min_ = kNeverCycle;
+    Cycle min_next = kNeverCycle;
+    bool any = false;
     for (std::size_t idx = 0; idx < slots_.size(); ++idx) {
-      if (slots_[idx].at > t) continue;
+      if (slots_[idx].at > t) {
+        min_next = std::min(min_next, slots_[idx].at);
+        continue;
+      }
+      any = true;
       processing_pos_ = idx;
       run_slot(idx, t);
+      min_next = std::min(min_next, slots_[idx].at);
+    }
+    if (!any) {
+      // Stale minimum (a horizon was raised since it was computed): no
+      // slot was due, nothing ticked — report the fresh minimum only.
+      processing_ = false;
+      return min_next;
     }
     // Wake-unsafe components get the global-horizon treatment: a fresh
     // query after every active cycle, so their hints never go stale.
     for (const std::size_t idx : unsafe_) {
       ++stats_.horizon_queries;
       schedule_horizon(idx, components_[idx]->next_event(t), t + 1);
+      min_next = std::min(min_next, slots_[idx].at);
     }
     processing_ = false;
     ++now_;
     ++stats_.dense_ticks;
+    return std::min(min_next, wake_floor_min_);
   }
 
   /// Sync a frozen slot's accounting through `t - 1`, tick it at `t`, and
@@ -340,6 +414,7 @@ class System final : public WakeHub {
       s.synced = t;
       ++stats_.component_ticks;
       c.tick(t);
+      grant_live_ = false;  // any batching grant expires with its tick
       if (unsafe_mask_[idx]) {
         s.at = kNeverCycle;  // re-queried after the cycle completes
         return;
@@ -370,7 +445,10 @@ class System final : public WakeHub {
     const Cycle target =
         processing_ && idx <= processing_pos_ ? now_ + 1 : now_;
     Slot& s = slots_[idx];
-    if (target < s.at) s.at = target;
+    if (target < s.at) {
+      s.at = target;
+      wake_floor_min_ = std::min(wake_floor_min_, target);
+    }
   }
 
   /// Re-derive a ring slot's horizon from scratch (fault triggers move
@@ -382,6 +460,10 @@ class System final : public WakeHub {
     const Cycle floor =
         processing_ && idx <= processing_pos_ ? now_ + 1 : now_;
     schedule_horizon(idx, r.next_event(), floor);
+    // Keep the fused next-due minimum sound if this LOWERED a slot the
+    // processing scan already visited (raises are covered by the stale-
+    // minimum rescan in step_wake_cycle).
+    wake_floor_min_ = std::min(wake_floor_min_, slots_[idx].at);
   }
 
   /// Settle every frozen slot's lazily-deferred accounting through
@@ -399,6 +481,7 @@ class System final : public WakeHub {
     if (ring_.credit().cycle() < upto) ring_.credit().skip_to(upto);
   }
 
+  Arena arena_;  // declared first: backs ring_ and fifos_ token storage
   DualRing ring_;
   std::vector<std::unique_ptr<Component>> components_;
   std::vector<std::unique_ptr<CFifo>> fifos_;
@@ -413,6 +496,13 @@ class System final : public WakeHub {
   std::vector<bool> unsafe_mask_;
   bool processing_ = false;        // inside step_wake_cycle
   std::size_t processing_pos_ = 0; // slot currently (or last) run this cycle
+  Cycle wake_floor_min_ = kNeverCycle;  // lowest at lowered mid-cycle
+  // Batched-data-plane grant state (ISSUE 8): grants exist only inside
+  // run() — run_until's predicate must observe dense-visible intermediate
+  // states, so it never allows them.
+  bool batch_allowed_ = false;
+  Cycle run_end_ = 0;
+  mutable bool grant_live_ = false;  // a granted tick is in progress
 };
 
 }  // namespace acc::sim

@@ -85,8 +85,10 @@ json::Value small_sim_doc() {
   const app::SimBenchRun dense =
       app::sim_bench_run(pal, sim::StepperKind::kDense);
   const app::SimBenchRun event =
+      app::sim_bench_run(pal, sim::StepperKind::kGlobalHorizon);
+  const app::SimBenchRun wake =
       app::sim_bench_run(pal, sim::StepperKind::kWakeList);
-  return app::sim_bench_doc(pal, dense, event);
+  return app::sim_bench_doc(pal, dense, event, wake);
 }
 
 TEST(BenchSchema, SimDocFromBenchCodeValidates) {
@@ -103,9 +105,11 @@ TEST(BenchSchema, SimDocDetectsMissingRunKey) {
 }
 
 TEST(BenchSchema, SimDocDetectsMissingWakeCounters) {
-  // The wake-list instrumentation (ISSUE 6 satellite) is part of the golden
-  // schema: dropping any of the three counters is a breach.
-  for (const char* key : {"component_ticks", "horizon_queries", "wakes"}) {
+  // The wake-list instrumentation (ISSUE 6 satellite) and the batched data
+  // plane counters (ISSUE 8) are part of the golden schema: dropping any of
+  // them is a breach.
+  for (const char* key : {"component_ticks", "horizon_queries", "wakes",
+                          "batch_runs", "batch_tokens"}) {
     json::Value doc = small_sim_doc();
     doc.as_object()["runs"].as_array()[1].as_object().erase(key);
     const std::vector<std::string> problems = validate_bench_sim(doc);
@@ -134,6 +138,28 @@ TEST(BenchSchema, SimDocDetectsDivergence) {
   const std::vector<std::string> problems = validate_bench_sim(doc);
   ASSERT_FALSE(problems.empty());
   EXPECT_NE(problems.front().find("equivalent"), std::string::npos);
+}
+
+TEST(BenchSchema, SimDocAcceptsNullRates) {
+  // A --sim-fast run can complete below the wall clock's resolution; the
+  // rate fields are then null rather than 0 or inf (ISSUE 8 satellite).
+  json::Value doc = small_sim_doc();
+  doc.as_object()["runs"].as_array()[2].as_object()["cycles_per_sec"] =
+      nullptr;
+  doc.as_object()["speedup"] = nullptr;
+  const std::vector<std::string> problems = validate_bench_sim(doc);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(BenchSchema, SimDocRejectsNullOutsideRateFields) {
+  // null is only legal where a clock can legitimately round to zero; the
+  // raw measurements themselves must stay numbers.
+  json::Value doc = small_sim_doc();
+  doc.as_object()["runs"].as_array()[0].as_object()["wall_ms"] = nullptr;
+  EXPECT_FALSE(validate_bench_sim(doc).empty());
+  json::Value doc2 = small_sim_doc();
+  doc2.as_object()["runs"].as_array()[1].as_object()["batch_runs"] = nullptr;
+  EXPECT_FALSE(validate_bench_sim(doc2).empty());
 }
 
 TEST(BenchSchema, SimDocDetectsWrongRunCount) {
