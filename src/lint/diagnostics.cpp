@@ -25,25 +25,25 @@ bool LintReport::has(std::string_view rule) const {
 
 void LintReport::suppress(const std::vector<std::string>& rules) {
   if (rules.empty()) return;
-  diags_.erase(std::remove_if(diags_.begin(), diags_.end(),
-                              [&](const Diagnostic& d) {
-                                return std::find(rules.begin(), rules.end(),
-                                                 d.rule) != rules.end() ||
-                                       std::find(rules.begin(), rules.end(),
-                                                 d.name) != rules.end();
-                              }),
-               diags_.end());
+  for (Diagnostic& d : diags_) {
+    if (std::find(rules.begin(), rules.end(), d.rule) != rules.end() ||
+        std::find(rules.begin(), rules.end(), d.name) != rules.end()) {
+      d.suppressed = true;
+    }
+  }
 }
 
 int LintReport::count(Severity s) const {
-  return static_cast<int>(
-      std::count_if(diags_.begin(), diags_.end(),
-                    [s](const Diagnostic& d) { return d.severity == s; }));
+  return static_cast<int>(std::count_if(
+      diags_.begin(), diags_.end(), [s](const Diagnostic& d) {
+        return d.severity == s && !d.suppressed;
+      }));
 }
 
 std::string LintReport::to_text() const {
   std::ostringstream os;
   for (const Diagnostic& d : diags_) {
+    if (d.suppressed) continue;
     os << config_;
     if (!d.location.empty()) os << ':' << d.location;
     os << ": " << severity_name(d.severity) << " [" << d.rule << " "
@@ -65,6 +65,7 @@ json::Value LintReport::to_json() const {
     o["location"] = d.location;
     o["message"] = d.message;
     o["hint"] = d.hint;
+    o["suppressed"] = d.suppressed;
     diags.emplace_back(std::move(o));
   }
   json::Object summary;
@@ -73,6 +74,8 @@ json::Value LintReport::to_json() const {
   summary["notes"] = notes();
   json::Object root;
   root["schema"] = "acc-lint-v1";
+  root["schema_version"] = kSchemaVersion;
+  root["tool_version"] = kToolVersion;
   root["config"] = config_;
   root["summary"] = std::move(summary);
   root["diagnostics"] = std::move(diags);
@@ -97,6 +100,17 @@ std::vector<std::string> validate_lint_json(const json::Value& doc) {
   require(problems, schema != nullptr && schema->is_string() &&
                         schema->as_string() == "acc-lint-v1",
           "$.schema: must be the string \"acc-lint-v1\"");
+  const json::Value* schema_version = doc.find("schema_version");
+  require(problems,
+          schema_version != nullptr && schema_version->is_int() &&
+              schema_version->as_int() == kSchemaVersion,
+          "$.schema_version: must be the integer " +
+              std::to_string(kSchemaVersion));
+  const json::Value* tool_version = doc.find("tool_version");
+  require(problems,
+          tool_version != nullptr && tool_version->is_string() &&
+              !tool_version->as_string().empty(),
+          "$.tool_version: must be a non-empty string");
   const json::Value* config = doc.find("config");
   require(problems, config != nullptr && config->is_string(),
           "$.config: must be a string");
@@ -121,6 +135,12 @@ std::vector<std::string> validate_lint_json(const json::Value& doc) {
         require(problems, v != nullptr && v->is_string(),
                 at + "." + key + ": must be a string");
       }
+      const json::Value* suppressed = d.find("suppressed");
+      require(problems, suppressed != nullptr && suppressed->is_bool(),
+              at + ".suppressed: must be a boolean");
+      const bool is_suppressed = suppressed != nullptr &&
+                                 suppressed->is_bool() &&
+                                 suppressed->as_bool();
       const json::Value* rule = d.find("rule");
       const RuleInfo* info =
           rule != nullptr && rule->is_string() ? find_rule(rule->as_string())
@@ -130,12 +150,14 @@ std::vector<std::string> validate_lint_json(const json::Value& doc) {
       const json::Value* sev = d.find("severity");
       if (sev != nullptr && sev->is_string()) {
         const std::string& s = sev->as_string();
+        // Suppressed diagnostics stay in the array but leave the summary
+        // tallies (the semantic the producer's counts implement).
         if (s == "error") {
-          ++errors;
+          errors += is_suppressed ? 0 : 1;
         } else if (s == "warning") {
-          ++warnings;
+          warnings += is_suppressed ? 0 : 1;
         } else if (s == "note") {
-          ++notes;
+          notes += is_suppressed ? 0 : 1;
         } else {
           problems.push_back(at + ".severity: must be error|warning|note");
         }

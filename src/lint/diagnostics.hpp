@@ -12,6 +12,12 @@
 
 namespace acc::lint {
 
+/// Version stamp carried by every emitted JSON document (shared by acc-lint
+/// and acc-verify — they produce the same document shape). The schema
+/// version only moves on a breaking document-shape change.
+inline constexpr const char* kToolVersion = "accshare 0.9.0";
+inline constexpr int kSchemaVersion = 1;
+
 /// One finding. `location` is a JSON-path-like pointer into the
 /// configuration ("$.streams[2].reconfig"); for in-memory inputs the same
 /// paths are synthesized so tooling sees one address space.
@@ -22,6 +28,10 @@ struct Diagnostic {
   std::string location;  // "$.etas[1]"; empty = whole config
   std::string message;   // what is wrong, with the offending values
   std::string hint;      // fix-it suggestion; may be empty
+  /// Suppressed via config `suppress` / CLI `--allow`: excluded from the
+  /// summary counts and the text rendering, but still present in the JSON
+  /// document (auditability — a reader can see what was waived).
+  bool suppressed = false;
 };
 
 class LintReport {
@@ -37,20 +47,24 @@ class LintReport {
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
     return diags_;
   }
+  /// Counts exclude suppressed diagnostics (a waived finding must not gate).
   [[nodiscard]] int errors() const { return count(Severity::kError); }
   [[nodiscard]] int warnings() const { return count(Severity::kWarning); }
   [[nodiscard]] int notes() const { return count(Severity::kNote); }
   /// Clean = deployable: no error-tier findings (warnings/notes allowed).
   [[nodiscard]] bool clean() const { return errors() == 0; }
 
-  /// Does any diagnostic carry this rule (by ID or name)?
+  /// Does any diagnostic carry this rule (by ID or name)? Matches
+  /// suppressed diagnostics too — presence, not gating.
   [[nodiscard]] bool has(std::string_view rule) const;
 
-  /// Drop diagnostics whose rule ID or name appears in `rules`.
+  /// Mark diagnostics whose rule ID or name appears in `rules` as
+  /// suppressed. They stay in the report (and in the JSON document, flagged
+  /// "suppressed": true) but leave the summary counts and text rendering.
   void suppress(const std::vector<std::string>& rules);
 
   /// Human-readable rendering, one "config:location: severity [ID] msg"
-  /// line per diagnostic plus a summary line.
+  /// line per non-suppressed diagnostic plus a summary line.
   [[nodiscard]] std::string to_text() const;
 
   /// The acc-lint-v1 JSON document (see validate_lint_json).

@@ -857,11 +857,35 @@ void parse_sections(const json::Value& doc, LintInput& in, LintReport& rep) {
 
 void finish(LintReport& rep, const LintInput& in, const LintOptions& opts) {
   std::vector<std::string> sup = in.suppress;
-  sup.insert(sup.end(), opts.suppress.begin(), opts.suppress.end());
+  // Config-side `suppress` entries were validated at parse time; CLI-side
+  // --allow entries are validated here so a typo'd waiver is an error, not
+  // a silently inert flag.
+  for (const std::string& rule : opts.suppress) {
+    if (find_rule(rule) == nullptr) {
+      rep.add("C01", "$.options.allow",
+              "'" + rule + "' is not a catalog rule ID or name",
+              "see --rules for the catalog");
+    } else {
+      sup.push_back(rule);
+    }
+  }
   rep.suppress(sup);
 }
 
 }  // namespace
+
+LintInput parse_config(const json::Value& doc, const std::string& name,
+                       LintReport& rep) {
+  LintInput in;
+  in.name = name;
+  if (!doc.is_object()) {
+    rep.add("C01", "$", "configuration document must be a JSON object");
+    return in;
+  }
+  parse_spec(doc, in, rep);
+  parse_sections(doc, in, rep);
+  return in;
+}
 
 LintReport lint_input(const LintInput& in, const LintOptions& opts) {
   LintReport rep(in.name);
@@ -873,16 +897,8 @@ LintReport lint_input(const LintInput& in, const LintOptions& opts) {
 LintReport lint_config_json(const json::Value& doc, const std::string& name,
                             const LintOptions& opts) {
   LintReport rep(name);
-  LintInput in;
-  in.name = name;
-  if (!doc.is_object()) {
-    rep.add("C01", "$", "configuration document must be a JSON object");
-    finish(rep, in, opts);
-    return rep;
-  }
-  parse_spec(doc, in, rep);
-  parse_sections(doc, in, rep);
-  run_rules(in, rep);
+  const LintInput in = parse_config(doc, name, rep);
+  if (doc.is_object()) run_rules(in, rep);
   finish(rep, in, opts);
   return rep;
 }

@@ -107,6 +107,13 @@ struct LintOptions {
 [[nodiscard]] LintReport lint_input(const LintInput& input,
                                     const LintOptions& opts = {});
 
+/// Parse the extended configuration document into a LintInput; structural
+/// problems become C01 diagnostics in `rep` rather than exceptions. The
+/// bounded model checker (src/verify/) reuses this so acc-lint and
+/// acc-verify agree on a single config grammar.
+[[nodiscard]] LintInput parse_config(const json::Value& doc,
+                                     const std::string& name, LintReport& rep);
+
 /// Parse an extended configuration document and lint it. Structural
 /// problems (missing keys, wrong types, out-of-range values) become C01
 /// diagnostics rather than exceptions, so one run reports everything.

@@ -90,6 +90,25 @@ inline constexpr RuleInfo kRules[] = {
     {"D02", "task-no-next-ready", Severity::kWarning,
      "task without a next_ready horizon in an event-stepper system forces "
      "dense ticking"},
+    // V* rules are emitted by acc-verify (src/verify/), the exhaustive
+    // bounded model checker, not by the static linter — they share this
+    // catalog so suppressions, --rules and the JSON schema cover both tools.
+    {"V01", "verify-deadlock", Severity::kError,
+     "a reachable state is stable (no component can ever act again) without "
+     "being quiescent-complete (drained chain, idle gateways, empty rings)"},
+    {"V02", "verify-credit-conservation", Severity::kError,
+     "credits held + tokens in flight + tokens buffered != NI capacity on "
+     "some link in a reachable state (credit leak or phantom credit)"},
+    {"V03", "verify-gateway-protocol", Severity::kError,
+     "gateway protocol violation in a reachable state: admission without "
+     "space, NI overflow, sample while disarmed, or a lost exit notification "
+     "outside a declared fault window"},
+    {"V04", "verify-bound-soundness", Severity::kError,
+     "an explored fault-free execution exceeds the Eq. 2 worst-case block "
+     "processing time tau_hat for its stream"},
+    {"V05", "verify-wake-soundness", Severity::kError,
+     "a component's frozen state changed inside a skip window its own "
+     "next_event() declared quiescent (missed-wake hazard)"},
 };
 
 inline constexpr int kNumRules = static_cast<int>(sizeof(kRules) / sizeof(kRules[0]));

@@ -38,6 +38,12 @@ void AcceleratorTile::swap_context(StreamId id, Cycle now) {
   active_kernel_ = contexts_.at(id).get();
   m_ctx_switches_.add();
   if (trace_ != nullptr) trace_->record(now, name_, "ctx.switch", id);
+  // The switch mutates our frozen state from the entry-gateway's tick while
+  // we may be parked on kNeverCycle. Our horizon is genuinely unchanged (a
+  // drained tile stays parked until data arrives, which routes its own
+  // wake), but waking early is always exact — and it keeps the mutation
+  // visible to the wake-soundness audit (V05).
+  request_wake();
 }
 
 void AcceleratorTile::set_metrics(obs::MetricsRegistry* registry) {
@@ -180,6 +186,41 @@ Cycle AcceleratorTile::next_event(Cycle now) const {
 
 void AcceleratorTile::skip_to(Cycle from, Cycle to) {
   if (core_busy_) busy_cycles_ += to - from;
+}
+
+void AcceleratorTile::snapshot_state(StateHasher& h) const {
+  h.mix(static_cast<std::int64_t>(active_));
+  h.mix(credits_);
+  h.mix(static_cast<std::int64_t>(input_.size()));
+  for (const Flit f : input_) h.mix(f);
+  h.mix(static_cast<std::int64_t>(pending_out_.size()));
+  for (const Flit f : pending_out_) h.mix(f);
+  h.mix(core_busy_);
+  if (core_busy_) h.mix_cycle(core_done_at_);
+  h.mix(static_cast<std::int64_t>(scratch_out_.size()));
+  for (const CQ16& s : scratch_out_) {
+    h.mix(static_cast<std::int64_t>(s.re.raw()));
+    h.mix(static_cast<std::int64_t>(s.im.raw()));
+  }
+  h.mix(pending_credit_returns_);
+  // Kernel contexts: a stateful kernel's mutable words (delay lines,
+  // decimation counters) determine future outputs, so they are frozen
+  // state. std::map iterates in StreamId order — deterministic.
+  h.mix(static_cast<std::int64_t>(contexts_.size()));
+  for (const auto& [id, kernel] : contexts_) {
+    h.mix(static_cast<std::int64_t>(id));
+    const std::vector<std::int32_t> words = kernel->save_state();
+    h.mix(static_cast<std::int64_t>(words.size()));
+    for (const std::int32_t w : words) h.mix(static_cast<std::int64_t>(w));
+  }
+  h.mix(static_cast<std::int64_t>(pre_counts_.size()));
+  for (const std::uint8_t c : pre_counts_) h.mix(static_cast<std::int64_t>(c));
+  h.mix(static_cast<std::int64_t>(pre_samples_.size()));
+  for (const CQ16& s : pre_samples_) {
+    h.mix(static_cast<std::int64_t>(s.re.raw()));
+    h.mix(static_cast<std::int64_t>(s.im.raw()));
+  }
+  h.accounting(busy_cycles_);
 }
 
 }  // namespace acc::sim

@@ -61,6 +61,13 @@ class AcceleratorTile final : public Component {
   /// Data and credits for this tile arrive at its ring node; the wake-list
   /// scheduler routes deliveries there back to us.
   [[nodiscard]] std::int32_t ring_node() const override { return node_; }
+  /// Canonical state snapshot (see sim/state_hash.hpp). Frozen channel: the
+  /// NI/core/credit state plus every registered kernel context's
+  /// save_state() words — kernel-internal state (delay lines, decimation
+  /// counters) determines future outputs, so equal digests must imply equal
+  /// kernel futures too. processed_ is a lifetime counter (excluded);
+  /// busy_cycles_ is skip-replayed accounting.
+  void snapshot_state(StateHasher& h) const override;
 
   void set_trace(TraceLog* trace) { trace_ = trace; }
   /// Opt-in metrics: tile.<name>.{samples,busy_cycles,ctx_switches}.
@@ -76,6 +83,18 @@ class AcceleratorTile final : public Component {
   }
   [[nodiscard]] std::int64_t samples_processed() const { return processed_; }
   [[nodiscard]] std::int64_t busy_cycles() const { return busy_cycles_; }
+  /// Credit-conservation oracles (V02): credits held toward the downstream
+  /// NI, tokens buffered in our own NI input queue, and credit returns
+  /// accepted but not yet injected. The in-core sample is not part of
+  /// input_fill() — popping it already moved its slot's credit into
+  /// pending_returns().
+  [[nodiscard]] std::int64_t credits() const { return credits_; }
+  [[nodiscard]] std::int64_t input_fill() const {
+    return static_cast<std::int64_t>(input_.size());
+  }
+  [[nodiscard]] std::int64_t pending_returns() const {
+    return pending_credit_returns_;
+  }
   /// Words a context switch moves for this tile's active kernel (config-bus
   /// cost model input).
   [[nodiscard]] std::size_t context_words() const;

@@ -22,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "sim/flit.hpp"
 #include "sim/ring.hpp"
+#include "sim/state_hash.hpp"
 #include "sim/stepper_stats.hpp"
 
 namespace acc::sim {
@@ -134,6 +135,19 @@ class CFifo {
   /// Installed by System::add_fifo so push_run / pop_run report granted
   /// runs into the owning stepper's counters. Null for standalone FIFOs.
   void set_stepper_stats(StepperStats* stats) { stepper_stats_ = stats; }
+
+  /// Canonical state snapshot (see sim/state_hash.hpp): queue contents and
+  /// visibility deadlines are frozen protocol state; the lifetime counters
+  /// (pushed_/popped_/peak_) are excluded by contract.
+  void snapshot_state(StateHasher& h) const {
+    h.mix(static_cast<std::int64_t>(data_.size()));
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      h.mix_cycle(data_[i].visible_at);
+      h.mix(data_[i].flit);
+    }
+    h.mix(static_cast<std::int64_t>(freed_.size()));
+    for (std::size_t i = 0; i < freed_.size(); ++i) h.mix_cycle(freed_[i]);
+  }
 
  private:
   struct Entry {

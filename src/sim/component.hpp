@@ -2,6 +2,7 @@
 #pragma once
 
 #include "sim/ring.hpp"
+#include "sim/state_hash.hpp"
 #include "sim/stepper_stats.hpp"
 #include "sim/wake.hpp"
 
@@ -13,6 +14,15 @@ class Component {
   /// Advance one clock cycle. Components are ticked in registration order,
   /// then the interconnect advances (System::run).
   virtual void tick(Cycle now) = 0;
+
+  /// Mix this component's canonical state into `h` (see sim/state_hash.hpp
+  /// for the frozen/accounting channel contract). The bounded model checker
+  /// (src/verify/) deduplicates explored states on the frozen digest and
+  /// the wake-soundness audit checks frozen-channel bit-stability across
+  /// declared skip windows. The default — contribute nothing — keeps
+  /// unknown subclasses safe on both paths: an empty snapshot is trivially
+  /// stable, and such components are exempt from dedup-sensitive state.
+  virtual void snapshot_state(StateHasher& h) const { (void)h; }
 
   /// Event-horizon hint (see System::run and docs/performance.md). Called
   /// after every component and the ring ticked at cycle `now`; returns the
@@ -43,6 +53,15 @@ class Component {
   /// false and are re-queried every active cycle instead (exact, slower —
   /// the global-horizon treatment).
   [[nodiscard]] virtual bool wake_list_safe() const { return true; }
+
+  /// True when skip_to() replays FROZEN-channel state — state that
+  /// snapshot_state() mixes (not just accounting counters), e.g. a budget-
+  /// replenishment grid whose phase advances deterministically across a
+  /// parked window. The wake-soundness audit (V05, src/verify/) cannot
+  /// check such components by per-cycle digest bit-stability; their skip
+  /// equivalence is certified by the differential stepper suite
+  /// (tests/sim/event_horizon_test.cpp) instead.
+  [[nodiscard]] virtual bool frozen_skip_replay() const { return false; }
 
   /// Ring node this component drains (data and/or credit), or -1 when it
   /// has no network interface. The wake-list scheduler uses it to route

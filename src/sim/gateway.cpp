@@ -372,6 +372,37 @@ void EntryGateway::skip_to(Cycle from, Cycle to) {
   }
 }
 
+void EntryGateway::snapshot_state(StateHasher& h) const {
+  h.mix(static_cast<std::int64_t>(state_));
+  h.mix(static_cast<std::int64_t>(rr_next_));
+  h.mix(static_cast<std::int64_t>(active_));
+  h.mix(loaded_context_.has_value());
+  if (loaded_context_) h.mix(static_cast<std::int64_t>(*loaded_context_));
+  h.mix_cycle(busy_until_);
+  h.mix(remaining_);
+  h.mix(sample_in_flight_);
+  h.mix(pipeline_idle_);
+  h.mix(credits_);
+  h.mix_cycle(drain_deadline_);
+  h.mix(static_cast<std::int64_t>(retries_));
+  // Credit-stall episode state: what tick() actually compares against now
+  // is the trace-threshold deadline, so canonicalize that (a bare
+  // mix_cycle(credit_stall_since_) would conflate "starved since X" with
+  // "not starved" once X expires).
+  h.mix(credit_stall_since_ >= 0);
+  if (credit_stall_since_ >= 0)
+    h.mix_cycle(credit_stall_since_ + credit_stall_threshold_);
+  h.mix(credit_stall_traced_);
+  // Always in the past, so the explorer's now-based canonicalization folds
+  // it to the expired sentinel (it never influences future behaviour beyond
+  // the wait metric) while the audit's base-0 hash still pins it exactly.
+  h.mix_cycle(idle_since_);
+  h.accounting(stats_.wait_cycles);
+  h.accounting(stats_.reconfig_cycles);
+  h.accounting(stats_.data_cycles);
+  h.accounting(stats_.credit_stall_cycles);
+}
+
 ExitGateway::ExitGateway(std::string name, DualRing& ring, std::int32_t node,
                          Cycle delta, std::int64_t ni_capacity,
                          Cycle notify_lag)
@@ -404,6 +435,11 @@ void ExitGateway::arm(StreamId stream, CFifo* output, std::int64_t expected) {
   stream_ = stream;
   output_ = output;
   expected_ = expected;
+  // Arming mutates our frozen state from the entry-gateway's tick. Our own
+  // horizon is unchanged by it (expected_ only gates delivery bookkeeping,
+  // which a data-flit ejection wakes anyway), but waking early is always
+  // exact — and it keeps the arm visible to the wake-soundness audit (V05).
+  request_wake();
 }
 
 void ExitGateway::tick(Cycle now) {
@@ -493,11 +529,32 @@ Cycle ExitGateway::next_event(Cycle now) const {
   return h == kNeverCycle ? kNeverCycle : std::max(h, now + 1);
 }
 
+void ExitGateway::snapshot_state(StateHasher& h) const {
+  h.mix(static_cast<std::int64_t>(input_.size()));
+  for (const Flit f : input_) h.mix(f);
+  h.mix(pending_credit_returns_);
+  h.mix(busy_);
+  if (busy_) {
+    h.mix_cycle(busy_until_);
+    h.mix(current_);
+  }
+  h.mix(static_cast<std::int64_t>(stream_));
+  h.mix(expected_);
+  h.mix(notify_at_.has_value());
+  if (notify_at_) h.mix_cycle(*notify_at_);
+  h.mix(notify_lost_);
+}
+
 bool ExitGateway::reclaim_notification(Cycle now) {
   if (expected_ != 0) return false;            // block still in the pipeline
   if (!notify_at_ && !notify_lost_) return false;  // already delivered
   notify_at_.reset();
   notify_lost_ = false;
+  // The reclaim mutates our frozen state from the entry-gateway's tick,
+  // same as arm(): route a wake so a cached horizon can never go stale on
+  // this path (waking early is always exact, and it keeps the reclaim
+  // visible to the wake-soundness audit, V05).
+  request_wake();
   m_notify_reclaims_.add();
   ACC_CHECK(entry_ != nullptr);
   if (trace_ != nullptr)

@@ -111,6 +111,11 @@ class EntryGateway final : public Component {
   void skip_to(Cycle from, Cycle to) override;
   /// Returned credits arrive over the credit ring at this node.
   [[nodiscard]] std::int32_t ring_node() const override { return node_; }
+  /// Canonical state snapshot (see sim/state_hash.hpp). Frozen channel: the
+  /// FSM and everything its admission/drain decisions read. Accounting
+  /// channel: the counters skip_to replays. completions_ and the stats_
+  /// block/sample totals are lifetime data (excluded by contract).
+  void snapshot_state(StateHasher& h) const override;
 
   /// Opt-in event tracing (admissions, reconfigurations, completions).
   void set_trace(TraceLog* trace) { trace_ = trace; }
@@ -133,6 +138,14 @@ class EntryGateway final : public Component {
   [[nodiscard]] const GatewayStats& stats() const { return stats_; }
   [[nodiscard]] const std::vector<StreamRoute>& streams() const {
     return streams_;
+  }
+  /// Hardware credits currently held toward the chain's first NI (the V02
+  /// credit-conservation oracle reads this).
+  [[nodiscard]] std::int64_t credits() const { return credits_; }
+  /// True when the FSM sits in kIdle with the pipeline drained — the only
+  /// legitimate resting state for the V01 deadlock rule.
+  [[nodiscard]] bool is_idle() const {
+    return state_ == State::kIdle && pipeline_idle_;
   }
   /// Completion cycle of the most recent block per stream (empty until the
   /// first block finishes). For latency/throughput measurements.
@@ -224,6 +237,10 @@ class ExitGateway final : public Component {
   [[nodiscard]] Cycle next_event(Cycle now) const override;
   /// The chain's output flits arrive over the data ring at this node.
   [[nodiscard]] std::int32_t ring_node() const override { return node_; }
+  /// Canonical state snapshot (see sim/state_hash.hpp). Frozen channel:
+  /// queue/DMA/notification state. delivered_ and notify_drops_ are
+  /// lifetime counters (excluded); the exit keeps no per-cycle accounting.
+  void snapshot_state(StateHasher& h) const override;
 
   /// Entry-gateway recovery poll: if the active block has fully left the
   /// pipeline but its notification is still pending or was lost, deliver
@@ -234,10 +251,27 @@ class ExitGateway final : public Component {
   [[nodiscard]] std::int64_t ni_capacity() const { return ni_capacity_; }
   [[nodiscard]] std::int64_t samples_delivered() const { return delivered_; }
   [[nodiscard]] bool idle() const { return expected_ == 0; }
+  /// Samples held in the NI input queue (the V02 credit-conservation oracle
+  /// counts them as buffered tokens). The sample in the DMA engine is NOT
+  /// included: popping it already moved its slot's credit into
+  /// pending_returns().
+  [[nodiscard]] std::int64_t input_fill() const {
+    return static_cast<std::int64_t>(input_.size());
+  }
+  /// Credit returns accepted but not yet injected into the credit ring.
+  [[nodiscard]] std::int64_t pending_returns() const {
+    return pending_credit_returns_;
+  }
   /// Notifications lost to fault injection (recovered ones included).
   [[nodiscard]] std::int64_t notifications_dropped() const {
     return notify_drops_;
   }
+  /// Output samples still owed for the active block (0 when disarmed). The
+  /// V03 gateway-protocol oracle checks the armed output FIFO can take
+  /// every one of them.
+  [[nodiscard]] std::int64_t expected_outputs() const { return expected_; }
+  /// The armed block's output C-FIFO (null when disarmed).
+  [[nodiscard]] const CFifo* armed_output() const { return output_; }
 
  private:
   std::string name_;

@@ -83,6 +83,20 @@ class ProcessorTile final : public Component {
   /// Safe for cached horizons only when every hinted task declares the
   /// C-FIFOs its hint depends on (Task::wake_on_push / wake_on_pop).
   [[nodiscard]] bool wake_list_safe() const override;
+  /// The replenishment grid (budget_left_, next_replenish_) is frozen-
+  /// channel state that skip_to replays across a parked window: exempt
+  /// from the V05 digest-stability audit (see Component::frozen_skip_replay).
+  [[nodiscard]] bool frozen_skip_replay() const override { return true; }
+  /// Canonical state snapshot (see sim/state_hash.hpp). Frozen channel:
+  /// scheduler state (budgets, running task, deadlines); invocations_ is a
+  /// lifetime counter (excluded); busy_cycles_ is skip-replayed accounting.
+  void snapshot_state(StateHasher& h) const override {
+    for (const Cycle b : budget_left_) h.mix(b);
+    h.mix(static_cast<std::int64_t>(current_));
+    h.mix_cycle(busy_until_);
+    h.mix_cycle(next_replenish_);
+    h.accounting(busy_cycles_);
+  }
 
   [[nodiscard]] Cycle busy_cycles() const { return busy_cycles_; }
   [[nodiscard]] std::int64_t invocations(std::size_t task) const;
@@ -137,6 +151,14 @@ class SourceTile final : public Component {
   /// kNeverCycle once the sample list is exhausted. No per-cycle counters,
   /// so the default no-op skip_to is exact.
   [[nodiscard]] Cycle next_event(Cycle now) const override;
+  /// Canonical state snapshot: emission cursor, release deadline, and the
+  /// jitter RNG state (a consumed draw is externally visible determinism
+  /// state). emitted_/dropped_ are lifetime counters (excluded).
+  void snapshot_state(StateHasher& h) const override {
+    h.mix_cycle(next_emit_);
+    h.mix(static_cast<std::int64_t>(next_));
+    h.mix(jitter_state_);
+  }
 
   /// Opt-in metrics: source.<name>.{emitted,dropped}.
   void set_metrics(obs::MetricsRegistry* registry);
@@ -178,6 +200,12 @@ class SinkTile final : public Component {
   /// Event horizon: the prefill visibility deadline before start, the next
   /// DAC due time after. No per-cycle counters; default skip_to is exact.
   [[nodiscard]] Cycle next_event(Cycle now) const override;
+  /// Canonical state snapshot: start latch + DAC due time. The received
+  /// log and underrun count are lifetime data (excluded).
+  void snapshot_state(StateHasher& h) const override {
+    h.mix(started_);
+    h.mix_cycle(next_due_);
+  }
 
   /// Opt-in metrics: sink.<name>.{received,underruns}. The underruns
   /// counter covers the WHOLE run, including any post-feed drain phase the

@@ -18,6 +18,7 @@
 #include "common/check.hpp"
 #include "obs/metrics.hpp"
 #include "sim/flit.hpp"
+#include "sim/state_hash.hpp"
 #include "sim/wake.hpp"
 
 namespace acc::sim {
@@ -199,6 +200,63 @@ class Ring {
     now_ = target;
   }
 
+  /// Messages currently inside the network addressed to `dst`: in-flight
+  /// slots, injection-queue entries, and ejected messages awaiting drain
+  /// (ejection only ever happens at msg.dst). The model checker's credit-
+  /// conservation rule (V02) counts these as tokens in flight on the link
+  /// terminating at `dst`.
+  [[nodiscard]] std::int64_t count_to(std::int32_t dst) const {
+    ACC_EXPECTS(dst >= 0 && dst < nodes());
+    std::int64_t n = 0;
+    for (const Slot& s : slots_) {
+      if (s.occupied && s.msg.dst == dst) ++n;
+    }
+    for (const auto& q : inject_) {
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        if (q[i].dst == dst) ++n;
+      }
+    }
+    for (const auto& e : ejected_) {
+      for (const RingMsg& m : e) {
+        if (m.dst == dst) ++n;
+      }
+    }
+    return n;
+  }
+
+  /// Canonical state snapshot (see sim/state_hash.hpp). Slots are visited
+  /// in NODE order through slot_at, so two rings differing only in their
+  /// rotation offset — physically the same network state — hash equal.
+  /// delivered_ is a lifetime counter (excluded); stall_cycles_ is
+  /// skip-replayed accounting.
+  void snapshot_state(StateHasher& h) const {
+    for (std::int32_t node = 0; node < nodes(); ++node) {
+      const Slot& s = slots_[slot_at(node)];
+      h.mix(s.occupied);
+      if (s.occupied) {
+        h.mix(s.msg.dst);
+        h.mix(s.msg.tag);
+        h.mix(s.msg.payload);
+      }
+      const auto& q = inject_[static_cast<std::size_t>(node)];
+      h.mix(static_cast<std::int64_t>(q.size()));
+      for (std::size_t i = 0; i < q.size(); ++i) {
+        h.mix(q[i].dst);
+        h.mix(q[i].tag);
+        h.mix(q[i].payload);
+      }
+      const auto& e = ejected_[static_cast<std::size_t>(node)];
+      h.mix(static_cast<std::int64_t>(e.size()));
+      for (const RingMsg& m : e) {
+        h.mix(m.dst);
+        h.mix(m.tag);
+        h.mix(m.payload);
+      }
+    }
+    h.mix_cycle(stall_until_);
+    h.accounting(stall_cycles_);
+  }
+
   [[nodiscard]] std::int32_t nodes() const {
     return static_cast<std::int32_t>(slots_.size());
   }
@@ -264,6 +322,8 @@ class DualRing {
 
   Ring& data() { return data_; }
   Ring& credit() { return credit_; }
+  [[nodiscard]] const Ring& data() const { return data_; }
+  [[nodiscard]] const Ring& credit() const { return credit_; }
 
   /// Wire both rings to one injector's kRingLink site (a stall models
   /// link-level contention hitting the physical ring pair).

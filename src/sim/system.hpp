@@ -68,6 +68,7 @@ class System final : public WakeHub {
   }
 
   [[nodiscard]] DualRing& ring() { return ring_; }
+  [[nodiscard]] const DualRing& ring() const { return ring_; }
   [[nodiscard]] const Arena& arena() const { return arena_; }
 
   /// Construct and own a component; ticked in creation order.
@@ -179,6 +180,38 @@ class System final : public WakeHub {
 
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] const StepperStats& stepper_stats() const { return stats_; }
+
+  // --- Introspection (bounded model checker / wake audit, src/verify/) ---
+
+  [[nodiscard]] std::size_t num_components() const {
+    return components_.size();
+  }
+  [[nodiscard]] Component& component(std::size_t i) { return *components_[i]; }
+  [[nodiscard]] const Component& component(std::size_t i) const {
+    return *components_[i];
+  }
+  [[nodiscard]] std::size_t num_fifos() const { return fifos_.size(); }
+  [[nodiscard]] CFifo& fifo(std::size_t i) { return *fifos_[i]; }
+  [[nodiscard]] const CFifo& fifo(std::size_t i) const { return *fifos_[i]; }
+
+  /// Canonical frozen digest of the whole system (every component in
+  /// registration order, every owned C-FIFO, both rings), with deadlines
+  /// canonicalized relative to now(). Equal digests mean equal futures
+  /// under identical environment actions — the explorer's dedup key.
+  [[nodiscard]] std::uint64_t state_digest() const {
+    StateHasher h(now_);
+    for (const auto& c : components_) {
+      c->snapshot_state(h);
+      h.mix(std::uint64_t{0x5EB1});  // component delimiter
+    }
+    for (const auto& f : fifos_) {
+      f->snapshot_state(h);
+      h.mix(std::uint64_t{0x5EB2});
+    }
+    ring_.data().snapshot_state(h);
+    ring_.credit().snapshot_state(h);
+    return h.frozen();
+  }
 
   // --- WakeHub (wake-list stepper plumbing; see sim/wake.hpp) ------------
 

@@ -1,0 +1,98 @@
+// Bounded exhaustive exploration of one verification model's reachable
+// state space.
+//
+// The System is non-copyable, so the search is REPLAY-BASED: a state is its
+// action path from the initial state, and expanding a frontier node means
+// rebuilding a fresh Model (a pure function of the ModelSpec) and replaying
+// the path. Deduplication keys on System::state_digest() — the canonical
+// frozen digest with deadlines taken relative to now, so the same protocol
+// situation reached at different absolute cycles collapses.
+//
+// Determinism: frontier nodes are expanded in insertion order and actions
+// in catalog order (feed s0.., drain s0.., step, run). Workers fill a
+// preallocated child table indexed (node, action); the merge walks that
+// table sequentially, so the FIRST violation in (depth, node, action) order
+// wins for every --jobs value — byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/model.hpp"
+#include "verify/verify.hpp"
+
+namespace acc::verify {
+
+/// One temporal-safety violation, already phrased for the lint report.
+struct Violation {
+  std::string rule;  // "V01".."V04" (V05 comes from the wake audit)
+  std::string message;
+  std::string hint;
+};
+
+struct ExploreStats {
+  std::int64_t states = 0;  // distinct canonical states reached
+  std::int64_t depth = 0;   // deepest fully-expanded level
+  bool truncated = false;   // a budget clipped the search
+};
+
+struct ExploreResult {
+  /// Every rule violated at the first violating state (empty = clean
+  /// within budget).
+  std::vector<Violation> violations;
+  /// Action path to the violating state (empty = initial state violates).
+  std::vector<Action> counterexample;
+  ExploreStats stats;
+};
+
+/// One model instance plus the machinery to drive it through environment
+/// actions while checking the V01-V04 oracles. Also used standalone by
+/// render_counterexample to replay a reported path.
+class Runner {
+ public:
+  explicit Runner(const ModelSpec& ms);
+
+  /// Is `a` enabled in the current state? (kStep/kRun always are.)
+  [[nodiscard]] bool enabled(const Action& a) const;
+
+  /// Apply one enabled action, running every oracle at each advance
+  /// boundary. Violations accumulate in violations(); once any is found
+  /// the runner is terminal (apply becomes a no-op).
+  void apply(const Action& a);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t digest() const { return model_.sys.state_digest(); }
+  [[nodiscard]] Model& model() { return model_; }
+  /// A kRun spent the whole max_advance budget without reaching stability.
+  [[nodiscard]] bool advance_capped() const { return advance_capped_; }
+
+  /// The full deterministic action catalog for this model (expansion order).
+  [[nodiscard]] std::vector<Action> action_catalog() const;
+
+ private:
+  void advance(sim::Cycle cycles);
+  void check_invariants();   // V02 conservation, V03 protocol safety
+  void check_trace();        // V04 Eq. 2 bound on new admit->delivered pairs
+  void check_stable();       // V01 once a kRun reaches stability
+  [[nodiscard]] bool stable() const;
+  [[nodiscard]] bool chain_resting() const;
+
+  Model model_;
+  std::vector<Violation> violations_;
+  std::size_t trace_scanned_ = 0;
+  /// Outstanding "admit" cycles per stream, FIFO (paired with the stream's
+  /// "block.delivered" events in order).
+  std::vector<std::vector<sim::Cycle>> admits_;
+  bool drops_declared_ = false;  // exit_notify faults are expected
+  bool dead_ = false;            // an oracle fired or the model threw
+  bool advance_capped_ = false;  // a kRun never reached stability
+};
+
+/// Breadth-first exploration to the spec's depth/state budgets with `jobs`
+/// replay workers. Deterministic for any `jobs` (see file header).
+[[nodiscard]] ExploreResult explore(const ModelSpec& ms, int jobs);
+
+}  // namespace acc::verify

@@ -46,6 +46,10 @@ sharing::SharedSystemSpec small_spec() {
 TEST(LintFixtures, EveryRuleHasBehavingOkAndBadFixtures) {
   for (const RuleInfo& r : kRules) {
     SCOPED_TRACE(r.id);
+    // V* rules are emitted by the acc-verify model checker, not the static
+    // linter; their mutation fixtures live in tests/verify/fixtures and are
+    // exercised by test_verify + the verify_cli_rejects_* ctest cases.
+    if (r.id[0] == 'V') continue;
     const LintReport ok = lint_fixture(std::string(r.id) + "_ok.json");
     EXPECT_FALSE(ok.has(r.id)) << ok.to_text();
     EXPECT_TRUE(ok.clean()) << ok.to_text();
@@ -100,16 +104,55 @@ TEST(LintReportTest, TextRenderingCarriesRuleLocationAndHint) {
             std::string::npos);
 }
 
-TEST(LintReportTest, SuppressDropsByIdAndByName) {
+TEST(LintReportTest, SuppressMarksByIdAndByName) {
   LintReport rep("cfg");
   rep.add("M04", "$", "x");
   rep.add("M07", "$", "y");
   rep.add("D01", "$", "z");
   rep.suppress({"M04", "rng-unseeded"});
-  EXPECT_FALSE(rep.has("M04"));
-  EXPECT_FALSE(rep.has("D01"));
+  // Suppressed diagnostics stay present (has() = presence, not gating)...
+  EXPECT_TRUE(rep.has("M04"));
+  EXPECT_TRUE(rep.has("D01"));
   EXPECT_TRUE(rep.has("M07"));
+  // ...but leave the counts, the text rendering, and gate only via M07.
   EXPECT_EQ(rep.errors(), 1);
+  EXPECT_EQ(rep.warnings(), 0);
+  EXPECT_EQ(rep.to_text().find("M04"), std::string::npos);
+  ASSERT_EQ(rep.diagnostics().size(), 3u);
+  EXPECT_TRUE(rep.diagnostics()[0].suppressed);
+  EXPECT_FALSE(rep.diagnostics()[1].suppressed);
+  EXPECT_TRUE(rep.diagnostics()[2].suppressed);
+}
+
+TEST(LintReportTest, SuppressedDiagnosticsStayInJsonFlagged) {
+  LintReport rep("cfg");
+  rep.add("M04", "$", "x");
+  rep.suppress({"M04"});
+  const json::Value doc = rep.to_json();
+  ASSERT_EQ(validate_lint_json(doc), std::vector<std::string>{});
+  const json::Value& d = doc.at("diagnostics").as_array().at(0);
+  EXPECT_EQ(d.at("rule").as_string(), "M04");
+  EXPECT_TRUE(d.at("suppressed").as_bool());
+  EXPECT_EQ(doc.at("summary").at("errors").as_int(), 0);
+}
+
+TEST(LintReportTest, UnknownCliAllowIsAConfigError) {
+  LintOptions opts;
+  opts.suppress = {"Z99"};
+  const LintReport rep = lint_config_text("{}", "cfg", opts);
+  EXPECT_TRUE(rep.has("C01"));
+  EXPECT_FALSE(rep.clean());
+  bool found = false;
+  for (const Diagnostic& d : rep.diagnostics()) {
+    if (d.rule == "C01" && d.location == "$.options.allow") found = true;
+  }
+  EXPECT_TRUE(found) << rep.to_text();
+}
+
+TEST(LintReportTest, JsonCarriesToolAndSchemaVersion) {
+  const json::Value doc = LintReport("cfg").to_json();
+  EXPECT_EQ(doc.at("tool_version").as_string(), kToolVersion);
+  EXPECT_EQ(doc.at("schema_version").as_int(), kSchemaVersion);
 }
 
 TEST(LintReportTest, ConfigSuppressSectionAndCliAllowBothApply) {
@@ -252,6 +295,49 @@ TEST(LintJsonSchema, NegativeSeverityVocabularyAndCatalogMismatch) {
 TEST(LintJsonSchema, NegativeSummaryCountMismatch) {
   json::Value doc = sample_doc();
   doc.as_object()["summary"].as_object()["errors"] = 7;
+  EXPECT_FALSE(validate_lint_json(doc).empty());
+}
+
+TEST(LintJsonSchema, NegativeToolVersionMissingOrEmpty) {
+  json::Value doc = sample_doc();
+  doc.as_object().erase("tool_version");
+  EXPECT_FALSE(validate_lint_json(doc).empty());
+  json::Value doc2 = sample_doc();
+  doc2.as_object()["tool_version"] = "";
+  EXPECT_FALSE(validate_lint_json(doc2).empty());
+}
+
+TEST(LintJsonSchema, NegativeSchemaVersionMissingOrWrong) {
+  json::Value doc = sample_doc();
+  doc.as_object().erase("schema_version");
+  EXPECT_FALSE(validate_lint_json(doc).empty());
+  json::Value doc2 = sample_doc();
+  doc2.as_object()["schema_version"] = kSchemaVersion + 1;
+  EXPECT_FALSE(validate_lint_json(doc2).empty());
+  json::Value doc3 = sample_doc();
+  doc3.as_object()["schema_version"] = "1";  // wrong kind
+  EXPECT_FALSE(validate_lint_json(doc3).empty());
+}
+
+TEST(LintJsonSchema, NegativeSuppressedMissingOrWrongKind) {
+  json::Value doc = sample_doc();
+  doc.as_object()["diagnostics"].as_array()[0].as_object().erase("suppressed");
+  EXPECT_FALSE(validate_lint_json(doc).empty());
+  json::Value doc2 = sample_doc();
+  doc2.as_object()["diagnostics"].as_array()[0].as_object()["suppressed"] =
+      "no";
+  EXPECT_FALSE(validate_lint_json(doc2).empty());
+}
+
+TEST(LintJsonSchema, SuppressedDiagnosticsLeaveSummaryTallies) {
+  // A suppressed error in the array with summary.errors = 0 is VALID...
+  LintReport rep("cfg");
+  rep.add("M07", "$", "x");
+  rep.suppress({"M07"});
+  EXPECT_TRUE(validate_lint_json(rep.to_json()).empty());
+  // ...and counting it anyway is a breach.
+  json::Value doc = rep.to_json();
+  doc.as_object()["summary"].as_object()["errors"] = 1;
   EXPECT_FALSE(validate_lint_json(doc).empty());
 }
 
