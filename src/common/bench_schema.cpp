@@ -220,6 +220,132 @@ std::vector<std::string> validate_bench_sim(const json::Value& doc) {
   return problems;
 }
 
+std::vector<std::string> validate_bench_admission(const json::Value& doc) {
+  std::vector<std::string> problems;
+  const json::Value* bench =
+      require(doc, "$", "bench", Kind::kString, &problems);
+  if (bench != nullptr && bench->as_string() != "admission_churn")
+    problems.push_back("$.bench: expected \"admission_churn\"");
+  (void)require(doc, "$", "seed", Kind::kInt, &problems);
+  (void)require(doc, "$", "events", Kind::kInt, &problems);
+  (void)require(doc, "$", "max_concurrent", Kind::kInt, &problems);
+  (void)require(doc, "$", "event_gap", Kind::kInt, &problems);
+  (void)require(doc, "$", "eta_max", Kind::kInt, &problems);
+  (void)require(doc, "$", "eta_align", Kind::kInt, &problems);
+  (void)require(doc, "$", "blocks_per_session", Kind::kInt, &problems);
+  const json::Value* chain =
+      require(doc, "$", "chain", Kind::kObject, &problems);
+  if (chain != nullptr) {
+    require_all(*chain, "$.chain",
+                {{"accelerators", Kind::kArray},
+                 {"entry", Kind::kInt},
+                 {"exit", Kind::kInt},
+                 {"ni_capacity", Kind::kInt}},
+                &problems);
+  }
+  const json::Value* templates =
+      require(doc, "$", "templates", Kind::kArray, &problems);
+  if (templates != nullptr) {
+    if (templates->as_array().empty())
+      problems.push_back("$.templates: expected at least one template");
+    for (std::size_t i = 0; i < templates->as_array().size(); ++i) {
+      const std::string path = "$.templates[" + std::to_string(i) + "]";
+      require_all(templates->as_array()[i], path,
+                  {{"name", Kind::kString},
+                   {"period", Kind::kInt},
+                   {"decimation", Kind::kInt},
+                   {"reconfig", Kind::kInt}},
+                  &problems);
+    }
+  }
+  const json::Value* decisions =
+      require(doc, "$", "decisions", Kind::kArray, &problems);
+  if (decisions != nullptr) {
+    if (decisions->as_array().empty())
+      problems.push_back("$.decisions: expected at least one decision");
+    for (std::size_t i = 0; i < decisions->as_array().size(); ++i) {
+      const std::string path = "$.decisions[" + std::to_string(i) + "]";
+      require_all(decisions->as_array()[i], path,
+                  {{"i", Kind::kInt},
+                   {"kind", Kind::kString},
+                   {"session", Kind::kInt},
+                   {"template", Kind::kInt},
+                   {"accepted", Kind::kBool},
+                   {"cache_hit", Kind::kBool},
+                   {"reason", Kind::kString},
+                   {"eta", Kind::kInt},
+                   {"gamma", Kind::kInt},
+                   {"analysis_work", Kind::kInt},
+                   {"reconfig_cycles", Kind::kInt}},
+                  &problems);
+    }
+  }
+  const json::Value* steppers =
+      require(doc, "$", "steppers", Kind::kArray, &problems);
+  if (steppers != nullptr) {
+    // One row per stepper, in the fixed order the doc builder emits.
+    static const char* kSteppers[] = {"dense", "global-horizon", "wake-list"};
+    if (steppers->as_array().size() != 3)
+      problems.push_back(
+          "$.steppers: expected exactly three runs (dense, global-horizon, "
+          "wake-list)");
+    for (std::size_t i = 0; i < steppers->as_array().size(); ++i) {
+      const std::string path = "$.steppers[" + std::to_string(i) + "]";
+      const json::Value& run = steppers->as_array()[i];
+      const json::Value* mode =
+          require(run, path, "stepper", Kind::kString, &problems);
+      if (mode != nullptr && i < 3 && mode->as_string() != kSteppers[i])
+        problems.push_back(path + ".stepper: expected \"" +
+                           std::string(kSteppers[i]) + "\"");
+      require_all(run, path,
+                  {{"cycles_run", Kind::kInt},
+                   {"digest", Kind::kString},
+                   {"audio_checksum", Kind::kString},
+                   {"deadline_misses", Kind::kInt}},
+                  &problems);
+    }
+  }
+  const json::Value* summary =
+      require(doc, "$", "summary", Kind::kObject, &problems);
+  if (summary != nullptr) {
+    require_all(*summary, "$.summary",
+                {{"joins", Kind::kInt},
+                 {"accepted", Kind::kInt},
+                 {"rejected", Kind::kInt},
+                 {"leaves", Kind::kInt},
+                 {"leaves_skipped", Kind::kInt},
+                 {"cache_lookups", Kind::kInt},
+                 {"cache_hits", Kind::kInt},
+                 {"analysis_work", Kind::kInt},
+                 {"mode_changes", Kind::kInt},
+                 {"reconfig_cycles", Kind::kInt},
+                 {"samples_delivered", Kind::kInt},
+                 {"source_drops", Kind::kInt},
+                 {"sink_underruns", Kind::kInt},
+                 {"deadline_misses", Kind::kInt},
+                 {"audio_checksum", Kind::kString},
+                 {"cycles_run", Kind::kInt}},
+                &problems);
+    const json::Value* joins = summary->find("joins");
+    const json::Value* accepted = summary->find("accepted");
+    const json::Value* rejected = summary->find("rejected");
+    if (joins != nullptr && joins->is_int() && accepted != nullptr &&
+        accepted->is_int() && rejected != nullptr && rejected->is_int() &&
+        accepted->as_int() + rejected->as_int() != joins->as_int()) {
+      problems.push_back(
+          "$.summary: accepted + rejected must equal joins (every join is "
+          "decided exactly once)");
+    }
+  }
+  const json::Value* equivalent =
+      require(doc, "$", "equivalent", Kind::kBool, &problems);
+  if (equivalent != nullptr && !equivalent->as_bool())
+    problems.push_back(
+        "$.equivalent: the stepper runs diverged (steppers must be "
+        "cycle-exact)");
+  return problems;
+}
+
 namespace {
 
 /// One {observed, bound, margin} cell of a stream row: the margin must be
@@ -282,6 +408,19 @@ std::vector<std::string> validate_run_report(const json::Value& doc) {
       check_margin_cell(row, path, "service", &problems);
       check_margin_cell(row, path, "spacing", &problems);
     }
+  }
+
+  const json::Value* adm =
+      require(doc, "$", "admissions", Kind::kObject, &problems);
+  if (adm != nullptr) {
+    require_all(*adm, "$.admissions",
+                {{"accepts", Kind::kInt},
+                 {"rejects", Kind::kInt},
+                 {"cache_lookups", Kind::kInt},
+                 {"cache_hits", Kind::kInt},
+                 {"mode_changes", Kind::kInt},
+                 {"reconfig_cycles", Kind::kInt}},
+                &problems);
   }
 
   (void)require(doc, "$", "metrics", Kind::kObject, &problems);

@@ -28,6 +28,14 @@ namespace acc {
 [[nodiscard]] std::vector<std::string> validate_bench_sim(
     const json::Value& doc);
 
+/// Validate a BENCH_admission.json document (see app/admission_churn.hpp).
+/// Beyond key presence/kinds this enforces the control-plane invariants a
+/// valid campaign must satisfy: steppers[] holds exactly a "dense", a
+/// "global-horizon" and a "wake-list" row, $.equivalent is true, and the
+/// summary's accept/reject split sums to the join count.
+[[nodiscard]] std::vector<std::string> validate_bench_admission(
+    const json::Value& doc);
+
 /// Validate a RunReport document (see obs/run_report.hpp). Enforces the
 /// margin arithmetic (margin == bound - observed, or == bound when nothing
 /// was observed) and a non-empty streams table on top of key/kind checks.

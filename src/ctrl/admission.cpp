@@ -1,0 +1,158 @@
+#include "ctrl/admission.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "sharing/analysis.hpp"
+
+namespace acc::ctrl {
+
+namespace {
+
+std::int64_t round_up_to(std::int64_t v, std::int64_t multiple) {
+  return (v + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig cfg)
+    : cfg_(std::move(cfg)) {
+  ACC_EXPECTS(cfg_.eta_max >= 1);
+  ACC_EXPECTS(cfg_.eta_align >= 1);
+  ACC_EXPECTS(!cfg_.chain.accel_cycles_per_sample.empty());
+}
+
+void AdmissionController::set_metrics(obs::MetricsRegistry* registry) {
+  m_accepts_ = obs::make_counter(registry, "ctrl.admission.accepts");
+  m_rejects_ = obs::make_counter(registry, "ctrl.admission.rejects");
+  m_cache_hits_ = obs::make_counter(registry, "ctrl.admission.cache_hits");
+}
+
+std::string AdmissionController::signature(
+    const std::vector<StreamRequest>& active, const StreamRequest& candidate) {
+  using Tuple = std::array<std::int64_t, 4>;
+  std::vector<Tuple> tuples;
+  tuples.reserve(active.size());
+  for (const StreamRequest& r : active)
+    tuples.push_back({r.mu.num(), r.mu.den(), r.reconfig, r.eta});
+  std::sort(tuples.begin(), tuples.end());
+  std::string key;
+  for (const Tuple& t : tuples) {
+    for (const std::int64_t v : t) {
+      key += std::to_string(v);
+      key += ':';
+    }
+    key += ';';
+  }
+  key += '|';
+  key += std::to_string(candidate.mu.num()) + ':' +
+         std::to_string(candidate.mu.den()) + ':' +
+         std::to_string(candidate.reconfig) + ':' +
+         std::to_string(candidate.decimation);
+  return key;
+}
+
+AdmissionDecision AdmissionController::analyze(
+    const std::vector<StreamRequest>& active,
+    const StreamRequest& candidate) const {
+  ACC_EXPECTS(candidate.mu > Rational(0));
+  ACC_EXPECTS(candidate.decimation >= 1);
+  AdmissionDecision d;
+
+  sharing::SharedSystemSpec spec;
+  spec.chain = cfg_.chain;
+  std::vector<std::int64_t> etas;
+  etas.reserve(active.size() + 1);
+  for (const StreamRequest& r : active) {
+    ACC_EXPECTS_MSG(r.eta >= 1, "active stream without a deployed block size");
+    spec.streams.push_back({r.name, r.mu, r.reconfig});
+    etas.push_back(r.eta);
+  }
+  spec.streams.push_back({candidate.name, candidate.mu, candidate.reconfig});
+  etas.push_back(0);  // the candidate's slot, solved below
+
+  // Eq. 5 precondition: a finite block-size solution exists iff the
+  // bottleneck budget c0 * sum(mu) stays below 1.
+  ++d.analysis_work;
+  try {
+    if (sharing::utilization(spec) >= Rational(1)) {
+      d.reason = "utilization";
+      return d;
+    }
+  } catch (const std::overflow_error&) {
+    d.reason = "utilization";
+    return d;
+  }
+
+  // One-dimensional least fixed point of Eq. 6-9 in the candidate's eta,
+  // everyone else's deployed eta held fixed. gamma_hat is affine increasing
+  // in eta_c with slope c0 * mu_c < 1 (utilization test above), so Kleene
+  // iteration from the smallest aligned block converges to the least
+  // decimation-aligned solution.
+  const std::int64_t align = std::lcm(candidate.decimation, cfg_.eta_align);
+  std::int64_t eta_c = align;
+  for (int guard = 0; guard < 10000; ++guard) {
+    etas.back() = eta_c;
+    ++d.analysis_work;
+    const Time gamma = sharing::gamma_hat(spec, etas);
+    const std::int64_t need =
+        std::max<std::int64_t>(1, (candidate.mu * Rational(gamma)).ceil());
+    const std::int64_t aligned = round_up_to(need, align);
+    if (aligned <= eta_c) break;
+    eta_c = aligned;
+    if (eta_c > cfg_.eta_max) break;  // hopeless: monotone growth only
+  }
+  if (eta_c > cfg_.eta_max) {
+    d.reason = "eta_max";
+    return d;
+  }
+  etas.back() = eta_c;
+  d.eta = eta_c;
+  d.gamma = sharing::gamma_hat(spec, etas);
+
+  // The no-broken-guarantees test: every already-admitted stream must still
+  // meet Eq. 5 at the block size it is DEPLOYED with — resizing a live
+  // stream would void the contract its session was admitted under.
+  for (std::size_t s = 0; s < active.size(); ++s) {
+    ++d.analysis_work;
+    if (Rational(etas[s]) < spec.streams[s].mu * Rational(d.gamma)) {
+      d.reason = "headroom";
+      return d;
+    }
+  }
+  ACC_CHECK(sharing::throughput_met(spec, etas));
+  d.accepted = true;
+  d.reason = "feasible";
+  return d;
+}
+
+AdmissionDecision AdmissionController::admit(
+    const std::vector<StreamRequest>& active, const StreamRequest& candidate) {
+  ++lookups_;
+  const std::string key = signature(active, candidate);
+  AdmissionDecision d;
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    m_cache_hits_.add();
+    d = it->second;
+    d.cache_hit = true;
+    d.analysis_work = 0;
+  } else {
+    d = analyze(active, candidate);
+    cache_.emplace(key, d);
+  }
+  if (d.accepted) {
+    ++accepts_;
+    m_accepts_.add();
+  } else {
+    ++rejects_;
+    m_rejects_.add();
+  }
+  return d;
+}
+
+}  // namespace acc::ctrl

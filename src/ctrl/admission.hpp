@@ -1,0 +1,119 @@
+// Online admission control for the shared accelerator chain (the dynamic
+// control plane, ISSUE 10).
+//
+// The paper's Eq. 2-5 analysis runs at design time over a fixed stream set;
+// a session-driven deployment must answer the same question online: does a
+// joining stream fit WITHOUT breaking the guarantees already given to the
+// admitted set? AdmissionController answers it incrementally: streams
+// already running keep their deployed block sizes (their published
+// real-time contract), and the candidate's eta is solved as the
+// one-dimensional least fixed point of Eq. 6-9 with everyone else's eta
+// held fixed. Decisions are memoized on a canonical stream-set signature so
+// churny workloads don't re-solve recurring configurations from scratch
+// (see docs/control_plane.md for the signature scheme).
+//
+// admit() is PURE with respect to the simulator: a rejected admission is a
+// provable no-op on the running system (property-tested in tests/ctrl/).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rational.hpp"
+#include "obs/metrics.hpp"
+#include "sharing/spec.hpp"
+
+namespace acc::ctrl {
+
+using sharing::Time;
+
+/// A stream asking to join (or already sharing) the chain.
+struct StreamRequest {
+  std::string name;
+  /// Required throughput mu_s (samples per cycle).
+  Rational mu;
+  /// Context-switch cost R_s (cycles).
+  Time reconfig = 4100;
+  /// Down-sampling factor of the stream's kernel chain; block sizes must be
+  /// decimation-aligned so every block yields a fixed output count.
+  std::int64_t decimation = 1;
+  /// Deployed block size for an admitted stream; 0 for a candidate (the
+  /// controller solves it).
+  std::int64_t eta = 0;
+};
+
+struct AdmissionConfig {
+  sharing::ChainSpec chain;
+  /// Largest deployable block size (the input C-FIFO budget): Eq. 5 may be
+  /// satisfiable only with an eta no hardware buffer can hold.
+  std::int64_t eta_max = 1 << 16;
+  /// C-FIFO allocation granularity: deployed block sizes are rounded up to
+  /// a multiple of lcm(eta_align, decimation). Beyond modelling DMA-burst
+  /// alignment, quantization collapses the space of deployed configurations
+  /// a churny session mix can reach — which is what makes the decision memo
+  /// cache effective (recurring mixes share signatures bit-for-bit).
+  std::int64_t eta_align = 1;
+};
+
+struct AdmissionDecision {
+  bool accepted = false;
+  /// "feasible" | "utilization" | "eta_max" | "headroom".
+  std::string reason;
+  /// Candidate block size (decimation-aligned; meaningful when accepted).
+  std::int64_t eta = 0;
+  /// Worst-case round duration gamma_hat with the candidate admitted.
+  Time gamma = 0;
+  bool cache_hit = false;
+  /// Deterministic analysis cost in work units (Eq. 4 evaluations plus the
+  /// per-stream Eq. 5 checks); 0 on a cache hit. Integer-only by design so
+  /// benchmark documents stay byte-identical across hosts and --jobs.
+  std::int64_t analysis_work = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg);
+
+  /// Opt-in metrics: ctrl.admission.{accepts,rejects,cache_hits}.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Decide whether `candidate` may join the `active` set (each entry
+  /// carrying its deployed eta). Accepts iff
+  ///   1. utilization with the candidate stays < 1 (Eq. 5 precondition),
+  ///   2. the candidate's least decimation-aligned eta fits eta_max, and
+  ///   3. every active stream still meets Eq. 5 at its DEPLOYED eta under
+  ///      the enlarged round (the no-broken-guarantees headroom test).
+  AdmissionDecision admit(const std::vector<StreamRequest>& active,
+                          const StreamRequest& candidate);
+
+  [[nodiscard]] std::int64_t cache_lookups() const { return lookups_; }
+  [[nodiscard]] std::int64_t cache_hits() const { return hits_; }
+  [[nodiscard]] std::int64_t accepts() const { return accepts_; }
+  [[nodiscard]] std::int64_t rejects() const { return rejects_; }
+
+ private:
+  /// Canonical stream-set signature: the sorted multiset of active
+  /// (mu, R_s, decimation, deployed-eta) tuples plus the candidate's tuple.
+  /// Registration order is irrelevant to the analysis, so permutations of
+  /// the same session mix share one cache entry.
+  [[nodiscard]] static std::string signature(
+      const std::vector<StreamRequest>& active, const StreamRequest& candidate);
+
+  [[nodiscard]] AdmissionDecision analyze(
+      const std::vector<StreamRequest>& active,
+      const StreamRequest& candidate) const;
+
+  AdmissionConfig cfg_;
+  std::unordered_map<std::string, AdmissionDecision> cache_;
+  std::int64_t lookups_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t accepts_ = 0;
+  std::int64_t rejects_ = 0;
+  obs::Counter m_accepts_;
+  obs::Counter m_rejects_;
+  obs::Counter m_cache_hits_;
+};
+
+}  // namespace acc::ctrl

@@ -491,6 +491,76 @@ void check_determinism(const DeterminismDecl& det, LintReport& rep) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Control-plane rules (C02, G03): static admissibility of join templates.
+// ---------------------------------------------------------------------------
+
+void check_ctrl(const LintInput& in, LintReport& rep) {
+  const CtrlDecl& ctrl = *in.ctrl;
+  if (ctrl.eta_max < 1) {
+    rep.add("C01", "$.ctrl.eta_max",
+            "eta_max " + std::to_string(ctrl.eta_max) + " < 1");
+    return;
+  }
+  for (std::size_t j = 0; j < ctrl.joins.size(); ++j) {
+    const CtrlJoinDecl& join = ctrl.joins[j];
+    const std::string at = idx("$.ctrl.joins", j);
+    if (!(join.mu > Rational(0))) {
+      rep.add("C01", at + ".mu_num",
+              "join template '" + join.name +
+                  "' declares non-positive throughput " + join.mu.str());
+      continue;
+    }
+    if (join.decimation < 1) {
+      rep.add("C01", at + ".decimation",
+              "join template '" + join.name + "' declares decimation " +
+                  std::to_string(join.decimation) + " < 1");
+      continue;
+    }
+    // G03: a template may only program accelerator kinds the chain has.
+    for (std::size_t k = 0; k < join.accel_kinds.size(); ++k) {
+      const std::string& kind = join.accel_kinds[k];
+      if (std::find(ctrl.accel_kinds.begin(), ctrl.accel_kinds.end(), kind) ==
+          ctrl.accel_kinds.end()) {
+        rep.add("G03", idx(at + ".accel_kinds", k),
+                "join template '" + join.name +
+                    "' references accelerator kind '" + kind +
+                    "' which the chain does not declare",
+                "declare the kind in $.ctrl.accel_kinds or fix the template");
+      }
+    }
+    // C02: the template must be admissible at least when it runs ALONE at
+    // the largest deployable block size; if Eq. 5 fails even there, every
+    // runtime admission of this template would be rejected.
+    if (!in.spec.has_value()) continue;
+    sharing::SharedSystemSpec solo;
+    solo.chain = in.spec->chain;
+    solo.streams.push_back({join.name, join.mu, join.reconfig});
+    const std::vector<std::int64_t> etas{ctrl.eta_max};
+    bool satisfiable = false;
+    std::string detail;
+    try {
+      if (sharing::utilization(solo) < Rational(1)) {
+        satisfiable = Rational(ctrl.eta_max) >=
+                      join.mu * Rational(sharing::gamma_hat(solo, etas));
+        if (!satisfiable) detail = " (eta_max < mu * gamma_hat)";
+      } else {
+        detail = " (solo utilization >= 1)";
+      }
+    } catch (const std::overflow_error&) {
+      detail = " (cycle arithmetic overflows at eta_max)";
+    }
+    if (!satisfiable) {
+      rep.add("C02", at + ".mu_num",
+              "join template '" + join.name + "' declares mu = " +
+                  join.mu.str() + " that Eq. 5 cannot satisfy even alone at "
+                  "eta = eta_max = " + std::to_string(ctrl.eta_max) + detail,
+              "lower the template's throughput, raise eta_max, or cheapen "
+              "the bottleneck stage");
+    }
+  }
+}
+
 void run_rules(const LintInput& in, LintReport& rep) {
   if (in.spec.has_value()) {
     const bool arith_ok = check_spec(*in.spec, rep);
@@ -503,6 +573,7 @@ void run_rules(const LintInput& in, LintReport& rep) {
   check_graphs(in, rep);
   if (in.faults.has_value()) check_faults(*in.faults, rep);
   if (in.determinism.has_value()) check_determinism(*in.determinism, rep);
+  if (in.ctrl.has_value()) check_ctrl(in, rep);
 }
 
 // ---------------------------------------------------------------------------
@@ -834,6 +905,80 @@ void parse_sections(const json::Value& doc, LintInput& in, LintReport& rep) {
         }
       }
       in.determinism = std::move(dd);
+    }
+  }
+  if (const json::Value* ctrl = doc.find("ctrl")) {
+    if (!ctrl->is_object()) {
+      rep.add("C01", "$.ctrl", "expected an object");
+    } else {
+      CtrlDecl cd;
+      std::int64_t v = 0;
+      if (as_i64(ctrl->find("eta_max"), "$.ctrl.eta_max", rep, &v))
+        cd.eta_max = v;
+      if (const json::Value* kinds = ctrl->find("accel_kinds")) {
+        if (!kinds->is_array()) {
+          rep.add("C01", "$.ctrl.accel_kinds", "expected an array of strings");
+        } else {
+          for (std::size_t i = 0; i < kinds->as_array().size(); ++i) {
+            std::string kind;
+            if (as_str(&kinds->as_array()[i], idx("$.ctrl.accel_kinds", i),
+                       rep, &kind)) {
+              cd.accel_kinds.push_back(std::move(kind));
+            }
+          }
+        }
+      }
+      if (const json::Value* joins = ctrl->find("joins")) {
+        if (!joins->is_array()) {
+          rep.add("C01", "$.ctrl.joins", "expected an array");
+        } else {
+          for (std::size_t i = 0; i < joins->as_array().size(); ++i) {
+            const json::Value& jv = joins->as_array()[i];
+            const std::string at = idx("$.ctrl.joins", i);
+            if (!jv.is_object()) {
+              rep.add("C01", at, "expected an object");
+              continue;
+            }
+            CtrlJoinDecl j;
+            as_str(want(jv, "name", at, true, rep), at + ".name", rep,
+                   &j.name);
+            std::int64_t num = 0;
+            std::int64_t den = 1;
+            const bool has_num = as_i64(want(jv, "mu_num", at, true, rep),
+                                        at + ".mu_num", rep, &num);
+            const bool has_den = as_i64(want(jv, "mu_den", at, true, rep),
+                                        at + ".mu_den", rep, &den);
+            if (has_num && has_den) {
+              if (den <= 0) {
+                rep.add("C01", at + ".mu_den",
+                        "throughput denominator must be positive, got " +
+                            std::to_string(den));
+              } else {
+                j.mu = Rational(num, den);
+              }
+            }
+            as_i64(jv.find("reconfig"), at + ".reconfig", rep, &j.reconfig);
+            as_i64(jv.find("decimation"), at + ".decimation", rep,
+                   &j.decimation);
+            if (const json::Value* kinds = jv.find("accel_kinds")) {
+              if (!kinds->is_array()) {
+                rep.add("C01", at + ".accel_kinds",
+                        "expected an array of strings");
+              } else {
+                for (std::size_t k = 0; k < kinds->as_array().size(); ++k) {
+                  std::string kind;
+                  if (as_str(&kinds->as_array()[k],
+                             idx(at + ".accel_kinds", k), rep, &kind)) {
+                    j.accel_kinds.push_back(std::move(kind));
+                  }
+                }
+              }
+            }
+            cd.joins.push_back(std::move(j));
+          }
+        }
+      }
+      in.ctrl = std::move(cd);
     }
   }
   if (const json::Value* sup = doc.find("suppress")) {

@@ -79,6 +79,29 @@ struct DeterminismDecl {
   std::vector<std::string> tasks_without_next_ready;
 };
 
+/// One join template of a dynamic control-plane workload (src/ctrl/): the
+/// stream parameters a session may instantiate at runtime, plus the
+/// accelerator kinds its kernel chain programs (in chain order).
+struct CtrlJoinDecl {
+  std::string name;
+  Rational mu;
+  std::int64_t reconfig = 0;
+  std::int64_t decimation = 1;
+  std::vector<std::string> accel_kinds;
+};
+
+/// Control-plane declaration ("ctrl" config section). Rule C02 checks that
+/// every join template is admissible AT LEAST when it runs alone at
+/// eta = eta_max (otherwise the admission controller would reject every
+/// single instance); rule G03 checks that templates only reference
+/// accelerator kinds the chain declares.
+struct CtrlDecl {
+  std::int64_t eta_max = 1 << 16;
+  /// Accelerator kinds the chain provides, in chain order.
+  std::vector<std::string> accel_kinds;
+  std::vector<CtrlJoinDecl> joins;
+};
+
 struct LintInput {
   std::string name = "<config>";
   std::optional<sharing::SharedSystemSpec> spec;
@@ -94,6 +117,7 @@ struct LintInput {
   std::vector<NamedGraph> graphs;
   std::optional<FaultsDecl> faults;
   std::optional<DeterminismDecl> determinism;
+  std::optional<CtrlDecl> ctrl;
   /// Rule IDs/names dropped from the report (config "suppress" section).
   std::vector<std::string> suppress;
 };

@@ -41,6 +41,10 @@ inline constexpr RuleInfo kRules[] = {
     {"C01", "config-invalid", Severity::kError,
      "configuration is structurally malformed (missing key, wrong type, "
      "out-of-range value)"},
+    {"C02", "ctrl-mu-unsatisfiable", Severity::kError,
+     "a control-plane join template declares a mu_s that Eq. 5 cannot "
+     "satisfy even at eta = eta_max (every admission of it would be "
+     "rejected)"},
     {"M01", "graph-inconsistent", Severity::kError,
      "dataflow graph has no positive repetition vector (rate mismatch; no "
      "periodic schedule exists)"},
@@ -79,6 +83,9 @@ inline constexpr RuleInfo kRules[] = {
     {"G02", "gateway-space-unwired", Severity::kError,
      "entry gateway stream lacks a consumer C-FIFO for its admission space "
      "check"},
+    {"G03", "ctrl-kind-undeclared", Severity::kError,
+     "a control-plane join template references an accelerator kind the "
+     "chain does not declare (no context could ever be programmed)"},
     {"F01", "fault-site-unknown", Severity::kError,
      "fault configuration names a site the simulator does not have"},
     {"F02", "fault-unseeded", Severity::kError,
@@ -109,6 +116,10 @@ inline constexpr RuleInfo kRules[] = {
     {"V05", "verify-wake-soundness", Severity::kError,
      "a component's frozen state changed inside a skip window its own "
      "next_event() declared quiescent (missed-wake hazard)"},
+    {"V06", "verify-quiesce-before-reconfig", Severity::kError,
+     "a reconfiguration (context switch) fired in a reachable state where "
+     "the accelerator still held an in-flight block — reconfiguration "
+     "without the mode-change protocol's quiesce step"},
 };
 
 inline constexpr int kNumRules = static_cast<int>(sizeof(kRules) / sizeof(kRules[0]));

@@ -59,6 +59,9 @@ json::Value chrome_trace_doc(const sim::TraceLog& log,
 
   // Open reconfig window per source (reconfig.start awaiting its done).
   std::map<std::string, sim::Cycle> open_reconfig;
+  // Open mode-change transition per source (the control plane's
+  // modechange.start/done pair, source "ctrl").
+  std::map<std::string, sim::Cycle> open_modechange;
   std::int64_t blocks_done = 0;
   std::int64_t faults_seen = 0;
 
@@ -94,6 +97,24 @@ json::Value chrome_trace_doc(const sim::TraceLog& log,
           dur["args"] = std::move(dargs);
           events.push_back(std::move(dur));
           open_reconfig.erase(it);
+        }
+      } else if (e.event == "modechange.start") {
+        open_modechange[e.source] = e.cycle;
+      } else if (e.event == "modechange.done") {
+        const auto it = open_modechange.find(e.source);
+        if (it != open_modechange.end()) {
+          json::Object dur;
+          dur["name"] = "modechange";
+          dur["ph"] = "X";
+          dur["pid"] = kPid;
+          dur["tid"] = tid;
+          dur["ts"] = it->second;
+          dur["dur"] = e.cycle - it->second;
+          json::Object dargs;
+          dargs["stream"] = e.value;
+          dur["args"] = std::move(dargs);
+          events.push_back(std::move(dur));
+          open_modechange.erase(it);
         }
       }
     }

@@ -41,6 +41,15 @@ json::Value run_report_doc(const RunReportInput& in,
   }
   doc["streams"] = std::move(streams);
 
+  json::Object adm;
+  adm["accepts"] = in.admissions.accepts;
+  adm["rejects"] = in.admissions.rejects;
+  adm["cache_lookups"] = in.admissions.cache_lookups;
+  adm["cache_hits"] = in.admissions.cache_hits;
+  adm["mode_changes"] = in.admissions.mode_changes;
+  adm["reconfig_cycles"] = in.admissions.reconfig_cycles;
+  doc["admissions"] = std::move(adm);
+
   doc["metrics"] = metrics.snapshot_json();
 
   json::Object tr;

@@ -44,6 +44,19 @@ struct RunReportStream {
   std::int64_t spacing_bound = 0;
 };
 
+/// Control-plane activity during the run (src/ctrl/): admission decisions,
+/// cache effectiveness, and executed mode changes. A static workload
+/// reports zeros — the section still appears so one schema covers every
+/// report, dynamic or not.
+struct RunReportAdmissions {
+  std::int64_t accepts = 0;
+  std::int64_t rejects = 0;
+  std::int64_t cache_lookups = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t mode_changes = 0;
+  std::int64_t reconfig_cycles = 0;
+};
+
 struct RunReportInput {
   std::string workload;
   /// Workload parameters worth pinning in the document (ints only).
@@ -51,6 +64,7 @@ struct RunReportInput {
   /// Real-time verdict fields (source_drops, sink_underruns, ...).
   json::Object verdict;
   std::vector<RunReportStream> streams;
+  RunReportAdmissions admissions;
   std::int64_t cycles_run = 0;
   std::string stepper;  // "dense" | "global-horizon" | "wake-list"
 };

@@ -26,6 +26,24 @@ void AcceleratorTile::register_context(StreamId id,
   }
 }
 
+void AcceleratorTile::unregister_context(StreamId id) {
+  ACC_EXPECTS_MSG(contexts_.count(id) == 1, "unknown stream context");
+  ACC_EXPECTS_MSG(drained(), "context removal on a non-drained accelerator");
+  contexts_.erase(id);
+  if (active_ == id) {
+    if (contexts_.empty()) {
+      active_ = -1;
+      active_kernel_ = nullptr;
+    } else {
+      active_ = contexts_.begin()->first;
+      active_kernel_ = contexts_.begin()->second.get();
+    }
+  }
+  // Frozen state (the contexts_ snapshot) changed from outside our own
+  // tick; wake so cached horizons and the V05 audit observe the mutation.
+  request_wake();
+}
+
 void AcceleratorTile::swap_context(StreamId id, Cycle now) {
   ACC_EXPECTS_MSG(contexts_.count(id) == 1, "unknown stream context");
   ACC_EXPECTS_MSG(drained(), "context switch on a non-drained accelerator");

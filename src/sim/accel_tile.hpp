@@ -38,6 +38,13 @@ class AcceleratorTile final : public Component {
   /// multiplexed stream.
   void register_context(StreamId id, std::unique_ptr<accel::StreamKernel> k);
 
+  /// Drop stream `id`'s virtual accelerator (control-plane departure).
+  /// Requires a drained tile — the mode-change protocol quiesces the chain
+  /// before reclaiming configuration memory. If the departing context was
+  /// active, deterministically falls back to the lowest remaining id (or
+  /// none): the next admission's swap_context reloads whatever it needs.
+  void unregister_context(StreamId id);
+
   /// Gateway-side context switch at cycle `now`: requires the pipeline to
   /// be drained. Instantaneous here — the R_s switching time is charged by
   /// the gateway, which stalls the whole chain while the configuration bus

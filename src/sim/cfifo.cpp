@@ -175,6 +175,18 @@ std::size_t CFifo::pop_run(Cycle base, Cycle stride, std::size_t max_tokens,
   return n;
 }
 
+void CFifo::set_capacity(std::int64_t capacity) {
+  ACC_EXPECTS(capacity >= 1);
+  ACC_EXPECTS_MSG(capacity >= static_cast<std::int64_t>(data_.size()) +
+                                  static_cast<std::int64_t>(freed_.size()),
+                  "CFifo '" + name_ +
+                      "' cannot shrink below outstanding tokens");
+  if (capacity == capacity_) return;
+  capacity_ = capacity;
+  // A writer parked on when_space_visible may become unblocked right now.
+  for (Component* w : pop_watchers_) w->request_wake();
+}
+
 void CFifo::set_metrics(obs::MetricsRegistry* registry) {
   const std::string prefix = "cfifo." + name_;
   m_pushed_ = obs::make_counter(registry, prefix + ".pushed");

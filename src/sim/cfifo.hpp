@@ -87,6 +87,15 @@ class CFifo {
     return static_cast<std::int64_t>(data_.size());
   }
   [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+
+  /// Control-plane resize (mode change): rebind the FIFO to a new depth.
+  /// Growing is always safe; shrinking is allowed only down to the
+  /// outstanding-token count (queued data plus in-flight freed credits) —
+  /// the mode-change protocol quiesces first, so in practice both sides are
+  /// settled. Growth immediately increases writer-visible space, so pop
+  /// watchers (producers waiting on credits) are woken. The occupancy
+  /// histogram keeps its construction-time bucket bounds.
+  void set_capacity(std::int64_t capacity);
   [[nodiscard]] const std::string& name() const { return name_; }
   /// Visibility lags (static configuration). Batched transfers require a
   /// lag of >= 1 on the side they mutate: with a zero lag an observer can

@@ -39,6 +39,38 @@ void EntryGateway::add_stream(const StreamRoute& route) {
   route.output->add_pop_watcher(this);
 }
 
+void EntryGateway::remove_stream(StreamId id) {
+  ACC_EXPECTS_MSG(state_ == State::kIdle && pipeline_idle_,
+                  "stream removal on a non-quiesced gateway");
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].id != id) continue;
+    streams_.erase(streams_.begin() + static_cast<std::ptrdiff_t>(i));
+    completions_.erase(completions_.begin() + static_cast<std::ptrdiff_t>(i));
+    // Indices into streams_ shifted: restart the round-robin scan at the
+    // front (deterministic, and fairness re-establishes within one round).
+    if (rr_next_ >= streams_.size()) rr_next_ = 0;
+    active_ = 0;
+    if (loaded_context_ && *loaded_context_ == id) loaded_context_.reset();
+    // The removal mutates frozen admission state from outside our own tick
+    // while we may be parked; reschedule so cached horizons never go stale.
+    request_wake();
+    return;
+  }
+  throw precondition_error("unknown stream id");
+}
+
+void EntryGateway::pause() {
+  ACC_EXPECTS_MSG(state_ == State::kIdle && pipeline_idle_,
+                  "pause on a non-quiesced gateway");
+  paused_ = true;
+  request_wake();
+}
+
+void EntryGateway::resume() {
+  paused_ = false;
+  request_wake();
+}
+
 const std::vector<Cycle>& EntryGateway::block_completions(StreamId id) const {
   for (std::size_t i = 0; i < streams_.size(); ++i)
     if (streams_[i].id == id) return completions_[i];
@@ -131,6 +163,12 @@ void EntryGateway::tick(Cycle now) {
 
   switch (state_) {
     case State::kIdle: {
+      if (paused_) {
+        // Control-plane freeze: accrue wait like any other idle cycle so
+        // dense and skipping steppers account identically (see skip_to).
+        if (!streams_.empty()) ++stats_.wait_cycles;
+        return;
+      }
       if (streams_.empty()) return;
       if (!pipeline_idle_) {
         ++stats_.wait_cycles;
@@ -298,6 +336,9 @@ Cycle EntryGateway::next_event(Cycle now) const {
   if (ring_.credit().has_ejected(node_)) return now + 1;
   switch (state_) {
     case State::kIdle: {
+      // Frozen by the control plane: only resume() can unblock the FSM
+      // (it routes a wake), so parking is exact.
+      if (paused_) return kNeverCycle;
       if (streams_.empty()) return kNeverCycle;
       // Not yet notified: the exit-gateway's own horizon (notify_at_) or a
       // ring delivery bounds the wake-up; nothing here can act earlier.
@@ -382,6 +423,7 @@ void EntryGateway::snapshot_state(StateHasher& h) const {
   h.mix(remaining_);
   h.mix(sample_in_flight_);
   h.mix(pipeline_idle_);
+  h.mix(paused_);
   h.mix(credits_);
   h.mix_cycle(drain_deadline_);
   h.mix(static_cast<std::int64_t>(retries_));

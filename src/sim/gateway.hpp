@@ -99,6 +99,24 @@ class EntryGateway final : public Component {
   /// route.id.
   void add_stream(const StreamRoute& route);
 
+  /// Deregister stream `id` (control-plane departure). Requires the quiesced
+  /// resting state (kIdle with the pipeline drained): the mode-change
+  /// protocol drains to a round boundary before unplugging anything. Any
+  /// in-flight samples of the stream must already have left the chain; its
+  /// C-FIFO watchers stay registered (stale watchers only cause harmless
+  /// extra wakes — there is deliberately no watcher-removal API).
+  void remove_stream(StreamId id);
+
+  /// Freeze admission (the mode-change protocol's config-bus window): the
+  /// FSM stays in kIdle and admits nothing until resume(). Requires the
+  /// quiesced resting state, so pausing never strands a half-admitted
+  /// block. Wait accounting keeps accruing while streams are registered —
+  /// identical dense/skip behaviour keeps the steppers bit-exact.
+  void pause();
+  /// Lift a pause() freeze and reschedule the admission scan.
+  void resume();
+  [[nodiscard]] bool paused() const { return paused_; }
+
   void tick(Cycle now) override;
   /// Event horizon of the admission/reconfig/streaming/drain FSM: context
   /// switch completion, DMA completion, C-FIFO visibility deadlines, the
@@ -182,6 +200,7 @@ class EntryGateway final : public Component {
   std::int64_t remaining_ = 0;    // samples left to forward in this block
   bool sample_in_flight_ = false; // DMA busy on one sample
   bool pipeline_idle_ = true;
+  bool paused_ = false;           // admission frozen by the control plane
   TraceLog* trace_ = nullptr;
   FaultInjector* fault_ = nullptr;
 

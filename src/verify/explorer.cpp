@@ -107,11 +107,21 @@ void Runner::advance(sim::Cycle cycles) {
   try {
     model_.sys.run_global_horizon(cycles);
   } catch (const acc::precondition_error& e) {
-    violations_.push_back(
-        {"V03", std::string("protocol precondition violated in flight: ") +
-                    e.what(),
-         "the gateway admitted a block whose declared shape the chain "
-         "cannot honour"});
+    if (model_.ms.has(Mutation::kMidRoundReconfig)) {
+      // The seeded rogue agent reconfigures without quiescing; the tile's
+      // drained() precondition is what catches it in flight.
+      violations_.push_back(
+          {"V06",
+           std::string("reconfiguration without quiescence: ") + e.what(),
+           "route every context switch through the mode-change protocol's "
+           "quiesce step — the chain must be drained before reprogramming"});
+    } else {
+      violations_.push_back(
+          {"V03", std::string("protocol precondition violated in flight: ") +
+                      e.what(),
+           "the gateway admitted a block whose declared shape the chain "
+           "cannot honour"});
+    }
     dead_ = true;
     return;
   } catch (const acc::invariant_error& e) {

@@ -65,6 +65,7 @@ constexpr struct {
     {Mutation::kDropNotify, "drop_notify"},
     {Mutation::kSlowAccel, "slow_accel"},
     {Mutation::kLyingHorizon, "lying_horizon"},
+    {Mutation::kMidRoundReconfig, "midround_reconfig"},
 };
 
 }  // namespace
@@ -199,12 +200,17 @@ bool build_model_spec(const json::Value& doc, const lint::LintInput& in,
                 "unknown mutation" +
                     (m.is_string() ? " '" + m.as_string() + "'" : ""),
                 "one of: phantom_credit, admit_oversized, drop_notify, "
-                "slow_accel, lying_horizon");
+                "slow_accel, lying_horizon, midround_reconfig");
         ok = false;
       } else {
         out.mutations.push_back(*mut);
       }
     }
+  }
+  if (out.has(Mutation::kMidRoundReconfig) && n_streams == 0) {
+    rep.add("C01", "$.verify.mutations",
+            "midround_reconfig needs at least one stream to reconfigure");
+    return false;
   }
   if (out.has(Mutation::kAdmitOversized)) {
     for (std::size_t s = 0; s < n_streams; ++s) {
@@ -295,6 +301,12 @@ Model::Model(const ModelSpec& spec)
                                     ms.spec.chain.ni_capacity + 1);
   }
   if (ms.has(Mutation::kLyingHorizon)) sys.add<LyingClock>();
+  if (ms.has(Mutation::kMidRoundReconfig)) {
+    // The rogue agent targets the first accelerator's first stream context:
+    // the context is always registered (>= 1 stream is enforced at spec
+    // build time), and the swap fires on the first non-drained tick.
+    sys.add<MidRoundSwapper>(chain.accels[0], sim::StreamId{0});
+  }
 }
 
 }  // namespace acc::verify

@@ -43,12 +43,15 @@ namespace acc::verify {
 ///                           retry policy: the entry drains forever)
 ///   kSlowAccel      -> V04 (accelerators 4x slower than the analysis rho)
 ///   kLyingHorizon   -> V05 (a component whose next_event overpromises)
+///   kMidRoundReconfig -> V06 (a context switch fired mid-round, without
+///                             the mode-change protocol's quiesce step)
 enum class Mutation {
   kPhantomCredit,
   kAdmitOversized,
   kDropNotify,
   kSlowAccel,
   kLyingHorizon,
+  kMidRoundReconfig,
 };
 
 [[nodiscard]] const char* mutation_name(Mutation m);
@@ -93,6 +96,34 @@ class LyingClock final : public sim::Component {
 
  private:
   std::int64_t pulse_ = 0;
+};
+
+/// V06 fixture component: a rogue control-plane agent that fires a context
+/// switch the moment its accelerator holds an in-flight block — exactly the
+/// mid-round reconfiguration the ModeChangeProtocol's quiesce step (see
+/// src/ctrl/mode_change.hpp) exists to rule out. The tile's drained()
+/// precondition converts the attempt into a precondition_error the explorer
+/// reports as V06.
+class MidRoundSwapper final : public sim::Component {
+ public:
+  MidRoundSwapper(sim::AcceleratorTile* accel, sim::StreamId victim)
+      : accel_(accel), victim_(victim) {}
+  void tick(sim::Cycle now) override {
+    if (fired_ || accel_->drained()) return;
+    fired_ = true;
+    accel_->swap_context(victim_, now);  // throws: tile is not drained
+  }
+  [[nodiscard]] sim::Cycle next_event(sim::Cycle now) const override {
+    return fired_ ? sim::kNeverCycle : now + 1;
+  }
+  void snapshot_state(sim::StateHasher& h) const override {
+    h.mix(fired_ ? 1 : 0);
+  }
+
+ private:
+  sim::AcceleratorTile* accel_;
+  sim::StreamId victim_;
+  bool fired_ = false;
 };
 
 /// One built model instance.

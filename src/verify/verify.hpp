@@ -6,7 +6,7 @@
 // reachable state under all interleavings of the environment's actions
 // (producers feeding blocks, consumers draining output, time advancing),
 // bounded by a depth and state budget. Along every explored path it checks
-// the temporal-safety rules V01-V05 of the shared lint catalog:
+// the temporal-safety rules V01-V06 of the shared lint catalog:
 //
 //   V01 verify-deadlock            no reachable stable-but-unfinished state
 //   V02 verify-credit-conservation credits + in-flight + buffered == NI cap
@@ -14,6 +14,8 @@
 //   V04 verify-bound-soundness     block service time <= Eq. 2 tau_hat
 //   V05 verify-wake-soundness      no frozen-state change inside a declared
 //                                  quiescent window (wake-list audit)
+//   V06 verify-quiesce-before-reconfig  no context switch while the chain
+//                                  still holds an in-flight block
 //
 // Findings are reported through the same LintReport / acc-lint-v1 JSON
 // document as acc-lint, so one schema and one suppression mechanism cover

@@ -1,0 +1,112 @@
+// AdmissionController unit tests: the incremental Eq. 5 fixed point, every
+// rejection reason, the eta_align quantization, and the canonical-signature
+// memo cache (hits are bit-identical to the decisions they replay, and
+// permutations of the same session mix share one entry).
+#include "ctrl/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sharing/analysis.hpp"
+
+namespace acc::ctrl {
+namespace {
+
+/// c0 = 1 chain: one unit-cost accelerator, unit entry/exit stages. With
+/// k = 1 accelerators tau_hat = R + (eta + 2) * c0, so every expectation
+/// below is small-integer arithmetic.
+AdmissionConfig unit_chain() {
+  AdmissionConfig cfg;
+  cfg.chain.accel_cycles_per_sample = {1};
+  cfg.chain.entry_cycles_per_sample = 1;
+  cfg.chain.exit_cycles_per_sample = 1;
+  cfg.chain.ni_capacity = 2;
+  return cfg;
+}
+
+TEST(Admission, SoloCandidateSolvesTheLeastFixedPoint) {
+  AdmissionController ctl(unit_chain());
+  // mu = 1/4, R = 10: eta >= (10 + eta + 2) / 4  =>  eta = 4, gamma = 16.
+  const AdmissionDecision d = ctl.admit({}, {"a", Rational(1, 4), 10});
+  EXPECT_TRUE(d.accepted);
+  EXPECT_EQ(d.reason, "feasible");
+  EXPECT_EQ(d.eta, 4);
+  EXPECT_EQ(d.gamma, 16);
+  EXPECT_FALSE(d.cache_hit);
+  EXPECT_GT(d.analysis_work, 0);
+}
+
+TEST(Admission, UtilizationRejectsBeforeAnyFixpointWork) {
+  AdmissionController ctl(unit_chain());
+  // mu = 1 with c0 = 1 saturates the bottleneck: Eq. 5 has no solution.
+  const AdmissionDecision d = ctl.admit({}, {"hog", Rational(1, 1), 10});
+  EXPECT_FALSE(d.accepted);
+  EXPECT_EQ(d.reason, "utilization");
+}
+
+TEST(Admission, EtaMaxRejectsAnUnbuildableBlock) {
+  AdmissionConfig cfg = unit_chain();
+  cfg.eta_max = 8;
+  AdmissionController ctl(cfg);
+  // Feasible in the real relaxation (utilization 1/4), but R = 1000 forces
+  // eta = 251 — no hardware C-FIFO of depth 8 can deploy it.
+  const AdmissionDecision d = ctl.admit({}, {"deep", Rational(1, 4), 1000});
+  EXPECT_FALSE(d.accepted);
+  EXPECT_EQ(d.reason, "eta_max");
+}
+
+TEST(Admission, HeadroomProtectsDeployedContracts) {
+  AdmissionController ctl(unit_chain());
+  // "a" runs at its published fixed point (eta 4, gamma 16) with ZERO
+  // slack: any candidate that stretches the round breaks its Eq. 5.
+  const std::vector<StreamRequest> active{{"a", Rational(1, 4), 10, 1, 4}};
+  const AdmissionDecision d =
+      ctl.admit(active, {"b", Rational(1, 100), 50});
+  EXPECT_FALSE(d.accepted);
+  EXPECT_EQ(d.reason, "headroom");
+}
+
+TEST(Admission, EtaAlignQuantizesToLcmWithDecimation) {
+  AdmissionConfig cfg = unit_chain();
+  cfg.eta_align = 8;
+  AdmissionController ctl(cfg);
+  StreamRequest c{"decim", Rational(1, 4), 10};
+  c.decimation = 3;
+  const AdmissionDecision d = ctl.admit({}, c);
+  EXPECT_TRUE(d.accepted);
+  EXPECT_EQ(d.eta % 24, 0) << "eta " << d.eta
+                           << " not lcm(decimation, eta_align)-aligned";
+  EXPECT_EQ(d.eta, 24);  // the least aligned block already satisfies Eq. 5
+}
+
+TEST(Admission, CacheReplaysTheSameDecision) {
+  AdmissionController ctl(unit_chain());
+  const StreamRequest cand{"a", Rational(1, 4), 10};
+  const AdmissionDecision miss = ctl.admit({}, cand);
+  const AdmissionDecision hit = ctl.admit({}, cand);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.analysis_work, 0);  // replay costs no Eq. 4 evaluations
+  EXPECT_EQ(hit.accepted, miss.accepted);
+  EXPECT_EQ(hit.eta, miss.eta);
+  EXPECT_EQ(hit.gamma, miss.gamma);
+  EXPECT_EQ(ctl.cache_lookups(), 2);
+  EXPECT_EQ(ctl.cache_hits(), 1);
+  EXPECT_EQ(ctl.accepts(), 2);
+}
+
+TEST(Admission, SignatureIsOrderInvariant) {
+  AdmissionController ctl(unit_chain());
+  // Two deployed streams, loose enough that a third fits.
+  const StreamRequest a{"a", Rational(1, 64), 10, 1, 8};
+  const StreamRequest b{"b", Rational(1, 32), 20, 1, 8};
+  const StreamRequest cand{"c", Rational(1, 64), 10};
+  const AdmissionDecision ab = ctl.admit({a, b}, cand);
+  const AdmissionDecision ba = ctl.admit({b, a}, cand);
+  EXPECT_FALSE(ab.cache_hit);
+  EXPECT_TRUE(ba.cache_hit) << "permuted active set missed the cache";
+  EXPECT_EQ(ba.accepted, ab.accepted);
+  EXPECT_EQ(ba.eta, ab.eta);
+}
+
+}  // namespace
+}  // namespace acc::ctrl

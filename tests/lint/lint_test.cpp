@@ -73,6 +73,8 @@ TEST(LintFixtures, SeededBadConfigsRaiseTheExpectedRule) {
   EXPECT_TRUE(lint_fixture("G01_bad.json").has("gateway-unpaired"));
   EXPECT_TRUE(lint_fixture("M04_bad.json").has("eta-positive"));
   EXPECT_TRUE(lint_fixture("F02_bad.json").has("fault-unseeded"));
+  EXPECT_TRUE(lint_fixture("C02_bad.json").has("ctrl-mu-unsatisfiable"));
+  EXPECT_TRUE(lint_fixture("G03_bad.json").has("ctrl-kind-undeclared"));
 }
 
 TEST(LintRules, FindRuleByIdAndName) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "app/admission_churn.hpp"
 #include "app/fault_campaign.hpp"
 #include "app/sim_bench.hpp"
 #include "obs/metrics.hpp"
@@ -174,6 +175,82 @@ TEST(BenchSchema, SimDocDetectsWrongBenchId) {
   EXPECT_FALSE(validate_bench_sim(small_dse_doc()).empty());
 }
 
+// --- BENCH_admission.json (ISSUE 10: dynamic control plane) -------------
+
+json::Value small_admission_doc() {
+  app::ChurnConfig cfg = app::small_churn_config();
+  cfg.workload.events = 24;  // test-size trace, still joins AND leaves
+  return app::admission_bench_doc(cfg, app::run_churn_campaign(cfg));
+}
+
+TEST(BenchSchema, AdmissionDocFromBenchCodeValidates) {
+  const std::vector<std::string> problems =
+      validate_bench_admission(small_admission_doc());
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(BenchSchema, AdmissionDocDetectsMissingTopLevelKey) {
+  for (const char* key : {"seed", "events", "chain", "templates", "decisions",
+                          "steppers", "summary", "equivalent"}) {
+    json::Value doc = small_admission_doc();
+    doc.as_object().erase(key);
+    const std::vector<std::string> problems = validate_bench_admission(doc);
+    ASSERT_FALSE(problems.empty()) << key;
+    EXPECT_NE(problems.front().find(key), std::string::npos) << key;
+  }
+}
+
+TEST(BenchSchema, AdmissionDocDetectsMissingDecisionKey) {
+  for (const char* key : {"kind", "accepted", "cache_hit", "reason", "eta",
+                          "analysis_work", "reconfig_cycles"}) {
+    json::Value doc = small_admission_doc();
+    doc.as_object()["decisions"].as_array()[0].as_object().erase(key);
+    ASSERT_FALSE(validate_bench_admission(doc).empty()) << key;
+  }
+}
+
+TEST(BenchSchema, AdmissionDocDetectsWrongStepperRows) {
+  // Exactly three rows, in dense / global-horizon / wake-list order, with
+  // the digest and audio checksum serialized as strings (uint64-safe).
+  json::Value doc = small_admission_doc();
+  doc.as_object()["steppers"].as_array().pop_back();
+  EXPECT_FALSE(validate_bench_admission(doc).empty());
+
+  json::Value doc2 = small_admission_doc();
+  doc2.as_object()["steppers"].as_array()[0].as_object()["stepper"] =
+      "wake-list";
+  EXPECT_FALSE(validate_bench_admission(doc2).empty());
+
+  json::Value doc3 = small_admission_doc();
+  doc3.as_object()["steppers"].as_array()[1].as_object()["digest"] = 7;
+  EXPECT_FALSE(validate_bench_admission(doc3).empty());
+}
+
+TEST(BenchSchema, AdmissionDocDetectsDivergence) {
+  // A doc recording a stepper divergence is malformed by definition, same
+  // contract as BENCH_sim.json.
+  json::Value doc = small_admission_doc();
+  doc.as_object()["equivalent"] = false;
+  const std::vector<std::string> problems = validate_bench_admission(doc);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("equivalent"), std::string::npos);
+}
+
+TEST(BenchSchema, AdmissionDocDetectsInconsistentSummary) {
+  // accepted + rejected must equal joins: every join is decided once.
+  json::Value doc = small_admission_doc();
+  json::Object& summary = doc.as_object()["summary"].as_object();
+  summary["accepted"] = summary["accepted"].as_int() + 1;
+  const std::vector<std::string> problems = validate_bench_admission(doc);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("joins"), std::string::npos);
+}
+
+TEST(BenchSchema, AdmissionDocDetectsWrongBenchId) {
+  EXPECT_FALSE(validate_bench_admission(small_sim_doc()).empty());
+  EXPECT_FALSE(validate_bench_sim(small_admission_doc()).empty());
+}
+
 // --- RunReport (ISSUE 7: observability) ---------------------------------
 
 json::Value small_run_report() {
@@ -205,8 +282,8 @@ TEST(BenchSchema, RunReportFromBuilderValidates) {
 }
 
 TEST(BenchSchema, RunReportDetectsMissingTopLevelKey) {
-  for (const char* key : {"version", "workload", "streams", "metrics",
-                          "trace", "verdict", "cycles_run"}) {
+  for (const char* key : {"version", "workload", "streams", "admissions",
+                          "metrics", "trace", "verdict", "cycles_run"}) {
     json::Value doc = small_run_report();
     doc.as_object().erase(key);
     const std::vector<std::string> problems = validate_run_report(doc);

@@ -41,7 +41,7 @@ VerifyResult verify_fixture(const std::string& name,
   return verify_config_text(read_fixture(name), name, opts, lint_opts);
 }
 
-constexpr const char* kVRules[] = {"V01", "V02", "V03", "V04", "V05"};
+constexpr const char* kVRules[] = {"V01", "V02", "V03", "V04", "V05", "V06"};
 
 TEST(VerifyClean, CleanFixtureExploresCleanToItsBudget) {
   const VerifyResult r = verify_fixture("clean.json");
@@ -107,6 +107,10 @@ TEST(VerifyMutations, CounterexamplesAreTheExpectedActionSequences) {
   const VerifyResult v5 = verify_fixture("V05_bad.json");
   EXPECT_TRUE(v5.counterexample.empty());
   EXPECT_TRUE(v5.report.has("V05")) << v5.report.to_text();
+
+  // midround_reconfig fires on the first in-flight block: feed, then step.
+  const VerifyResult v6 = verify_fixture("V06_bad.json");
+  EXPECT_EQ(v6.counterexample, (std::vector<Action>{feed0, step}));
 }
 
 // Exploration must be byte-identical for any worker count: same report
